@@ -1,0 +1,103 @@
+"""Ablations of the design choices DESIGN.md documents.
+
+1. Wrong-path contention modeling: without it, issue selection policies
+   converge (the substitution note for execution-driven fetch).
+2. Memory dependence speculation: speculative issue past unresolved
+   stores vs conservative waiting (§3.3's motivation).
+3. Stream prefetching: the paper's 64-stream prefetcher in Table 1.
+"""
+
+import dataclasses
+
+from repro.harness import format_table
+from repro.memory import HierarchyConfig
+from repro.pipeline import base_config, simulate
+from repro.workloads import build_trace
+
+from conftest import publish, scale
+
+
+def test_wrong_path_ablation(run_once):
+    """Without wrong-path contention, RAND ~= Orinoco; with it, the
+    Figure 14 gap appears."""
+    trace = build_trace("leela.chains", scale=scale())
+
+    def run():
+        out = {}
+        for modeled in (True, False):
+            for sched in ("rand", "orinoco"):
+                config = base_config(scheduler=sched,
+                                     model_wrong_path=modeled)
+                out[(modeled, sched)] = simulate(trace, config).ipc
+        return out
+
+    ipcs = run_once(run)
+    with_gap = ipcs[(True, "orinoco")] / ipcs[(True, "rand")]
+    without_gap = ipcs[(False, "orinoco")] / ipcs[(False, "rand")]
+    publish("ablation_wrong_path", format_table(
+        ["wrong-path modeled", "RAND IPC", "Orinoco IPC", "ratio"],
+        [[m, f"{ipcs[(m, 'rand')]:.3f}", f"{ipcs[(m, 'orinoco')]:.3f}",
+          f"{ipcs[(m, 'orinoco')] / ipcs[(m, 'rand')]:.3f}"]
+         for m in (True, False)],
+        title="Ablation: wrong-path contention"))
+    assert with_gap > without_gap - 0.005
+    assert with_gap > 1.02
+
+
+def test_mem_dep_speculation_ablation(run_once):
+    """Speculative load issue beats conservative waiting on code with
+    unresolved-but-non-aliasing stores."""
+    trace = build_trace("sjeng.listupd", scale=scale())
+
+    def run():
+        return {policy: simulate(trace,
+                                 base_config(mem_dep_policy=policy))
+                for policy in ("speculate", "conservative")}
+
+    stats = run_once(run)
+    publish("ablation_memdep", format_table(
+        ["policy", "IPC", "violations"],
+        [[p, f"{s.ipc:.3f}", s.mem_order_violations]
+         for p, s in stats.items()],
+        title="Ablation: memory dependence speculation"))
+    assert stats["speculate"].ipc >= stats["conservative"].ipc * 0.98
+    assert stats["conservative"].mem_order_violations == 0
+
+
+def test_prefetcher_ablation(run_once):
+    """The stream prefetcher mostly hides sequential misses."""
+    trace = build_trace("lbm.stream", scale=scale())
+
+    def run():
+        on = simulate(trace, base_config())
+        off_mem = dataclasses.replace(HierarchyConfig(),
+                                      prefetch_streams=0)
+        off = simulate(trace, base_config(memory=off_mem))
+        return on, off
+
+    on, off = run_once(run)
+    publish("ablation_prefetch", format_table(
+        ["prefetcher", "IPC", "dram requests"],
+        [["64 streams", f"{on.ipc:.3f}", on.memory["dram_requests"]],
+         ["off", f"{off.ipc:.3f}", off.memory["dram_requests"]]],
+        title="Ablation: stream prefetcher"))
+    assert on.ipc >= off.ipc
+
+
+def test_predictor_ablation(run_once):
+    """TAGE vs gshare vs bimodal on the branchy kernel."""
+    trace = build_trace("perl.branchy", scale=scale())
+
+    def run():
+        return {kind: simulate(trace, base_config(predictor=kind))
+                for kind in ("tage", "gshare", "bimodal", "oracle")}
+
+    stats = run_once(run)
+    publish("ablation_predictor", format_table(
+        ["predictor", "IPC", "accuracy"],
+        [[k, f"{s.ipc:.3f}", f"{s.predictor_accuracy:.3f}"]
+         for k, s in stats.items()],
+        title="Ablation: branch predictors"))
+    assert stats["oracle"].ipc >= stats["tage"].ipc
+    assert stats["tage"].predictor_accuracy >= \
+        stats["bimodal"].predictor_accuracy - 0.02

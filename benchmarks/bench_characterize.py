@@ -1,0 +1,22 @@
+"""Workload characterization: the DESIGN.md substitution evidence.
+
+Each SPEC-surrogate kernel must actually deliver the behaviour class it
+stands in for (misses, mispredicts, FP mix, window pressure).
+"""
+
+from repro.harness import characterize, format_characterization
+
+from conftest import publish, scale
+
+
+def test_characterization(run_once):
+    profiles = run_once(characterize, scale=scale())
+    publish("characterization", format_characterization(profiles))
+    by_name = {p.name: p for p in profiles}
+    # the stressors DESIGN.md promises
+    assert by_name["mcf.chase"].llc_miss_rate > 0.5       # DRAM chains
+    assert by_name["blender.matmul"].ipc > 1.5            # core bound
+    assert by_name["perl.branchy"].branch_mpki > 5        # mispredicts
+    assert by_name["nab.reduce"].fp_fraction > 0.3        # FP chains
+    assert by_name["xalanc.hash"].full_window_frac > 0.5  # window bound
+    assert by_name["lbm.stream"].store_fraction > 0.05    # store traffic

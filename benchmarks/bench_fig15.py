@@ -1,0 +1,27 @@
+"""Figure 15: IPC improvements of out-of-order commit.
+
+Paper: Orinoco +13.6% avg (max +34.2%) over IOC; VB w/o ECL and BR w/o
+ECL degrade severely (paper: -41% / -53% relative to VB / BR); SPEC is
+the upper bound; Orinoco beats the ROB-entries-only configuration.
+"""
+
+from repro.harness import fig15
+
+from conftest import publish, scale
+
+
+def test_fig15(run_once):
+    result = run_once(fig15, scale=scale())
+    publish("fig15", result.format())
+    summary = result.summary
+    # who wins
+    assert summary["Orinoco"] > 1.01
+    assert summary["SPEC"] >= summary["Orinoco"] - 0.005   # upper bound
+    # removing ECL craters the FIFO-ROB designs
+    assert summary["VB w/o ECL"] < summary["VB"]
+    assert summary["BR w/o ECL"] < summary["BR"]
+    # unordered ROB reclamation beats reclaiming ROB entries alone
+    assert summary["Orinoco"] >= summary["ROB"]
+    # the biggest single-workload win should be substantial (paper 34.2%)
+    best = max(v["Orinoco"] for v in result.per_workload.values())
+    assert best > 1.15

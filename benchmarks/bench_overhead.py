@@ -1,0 +1,16 @@
+"""§6.3 overheads: area/power vs the baseline core; design alternatives."""
+
+from repro.circuit import overhead_report
+
+from conftest import publish
+
+
+def test_overhead(run_once):
+    report = run_once(overhead_report)
+    publish("overhead", report.format())
+    assert 0.002 < report.area_overhead < 0.004       # paper 0.3%
+    assert 0.004 < report.power_overhead < 0.008      # paper 0.6%
+    assert abs(report.dynamic_logic_area_ratio - 3.75) < 0.01
+    assert report.static_logic_max_size == 64
+    assert 1.8 < report.collapsible_power_w < 2.4     # paper 2.1 W
+    assert report.merging_savings > 0.35              # paper ~40%

@@ -1,0 +1,17 @@
+"""§6.4 scalability: matrix timing across sizes; the ROB-512 fix."""
+
+from repro.circuit import format_scalability, scalability_report
+
+from conftest import publish
+
+
+def test_scalability(run_once):
+    rows = run_once(scalability_report)
+    publish("scalability", format_scalability(rows))
+    by_size = {row.rows: row for row in rows}
+    assert by_size[96].meets_2ghz
+    assert by_size[224].meets_2ghz
+    assert not by_size[512].meets_2ghz          # paper: needs splitting
+    assert by_size[512].required_splits >= 2
+    fixed = by_size[512]
+    assert fixed.split_latency_ps <= 500.0

@@ -1,0 +1,40 @@
+"""§2.2 / §6.2 stall statistics.
+
+Paper: completed-but-blocked instructions appear in 72% of commit-stall
+cycles (76% during full-window stalls); Orinoco removes ~65% of
+full-window stalls, unclogging ROB (67%), LQ (55%) and REG (~all).
+"""
+
+from repro.harness import stall_breakdown
+
+from conftest import publish, scale
+
+
+def test_stall_breakdown(run_once):
+    result = run_once(stall_breakdown, scale=scale())
+    lines = ["Stall statistics (paper §2.2 / §6.2)"]
+    for label in ("IOC", "Orinoco"):
+        data = result[label]
+        lines.append(
+            f"  {label}: commit stalls {data['commit_stalls']}, "
+            f"ready-not-head {data['ready_not_head_frac']:.0%} "
+            f"(paper 72%), during full-window "
+            f"{data['fw_ready_frac']:.0%} (paper 76%), "
+            f"full-window stalls {data['full_window']}")
+    reduction = result.get("reduction", {})
+    if reduction:
+        lines.append(
+            f"  Orinoco reduces full-window stalls by "
+            f"{reduction['full_window_stalls']:.0%} (paper 65%); "
+            f"ROB stalls by {reduction['rob_stalls']:.0%} (paper 67%)")
+    publish("stalls", "\n".join(lines))
+
+    ioc = result["IOC"]
+    # a meaningful fraction of commit stalls have ready work blocked
+    # (paper: 72%; we measure ~75%)
+    assert ioc["ready_not_head_frac"] > 0.2
+    # Orinoco reduces ROB-exhaustion stalls substantially; the
+    # *total* full-window reduction is diluted by IQ-bound kernels
+    # (see EXPERIMENTS.md) but must still be positive
+    assert result["reduction"]["rob_stalls"] > 0.1
+    assert result["reduction"]["full_window_stalls"] > 0.02

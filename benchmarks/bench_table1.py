@@ -1,0 +1,27 @@
+"""Table 1: microarchitecture configurations (Base / Pro / Ultra)."""
+
+from repro.harness import table1
+from repro.pipeline import make_config, simulate
+from repro.workloads import build_trace
+
+from conftest import publish, scale
+
+
+def test_table1(run_once):
+    text = run_once(table1)
+    publish("table1", text)
+    assert "4/4" in text and "6/6" in text and "8/8" in text
+    assert "224" in text and "512" in text
+
+
+def test_table1_presets_simulate(run_once):
+    """Each Table 1 preset runs the same kernel; wider cores are not
+    slower."""
+    trace = build_trace("gcc.mix", scale=min(scale(), 0.5))
+    def run_all():
+        return {preset: simulate(trace, make_config(preset)).ipc
+                for preset in ("base", "pro", "ultra")}
+    ipcs = run_once(run_all)
+    publish("table1_ipc", "\n".join(
+        f"{preset}: IPC {value:.3f}" for preset, value in ipcs.items()))
+    assert ipcs["ultra"] >= ipcs["base"] * 0.95

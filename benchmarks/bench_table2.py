@@ -1,0 +1,28 @@
+"""Table 2: memory parameters of the PIM matrix schedulers."""
+
+from repro.circuit import (PAPER_TABLE2, format_table2, table2,
+                           verify_six_sigma, BitlineModel)
+
+from conftest import publish
+
+
+def test_table2(run_once):
+    rows = run_once(table2)
+    publish("table2", format_table2(rows))
+    by_name = {row.name: row for row in rows}
+    for name, paper in PAPER_TABLE2.items():
+        row = by_name[name]
+        assert abs(row.area_mm2 - paper["area_mm2"]) \
+            / paper["area_mm2"] < 0.05
+        assert abs(row.latency_ps - paper["latency_ps"]) \
+            / paper["latency_ps"] < 0.16
+        assert paper["power_w"] / 2 < row.power_w < paper["power_w"] * 2
+
+
+def test_montecarlo_stability(run_once):
+    """Paper §6.1: 'more than six sigma stability'."""
+    model = BitlineModel(96)
+    stable = run_once(verify_six_sigma, model, 8, 5000)
+    publish("table2_montecarlo",
+            f"bit count sensing six-sigma stable up to IW=8: {stable}")
+    assert stable

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  Results are also
+written to ``benchmarks/out/`` so they survive pytest's capture.
+
+``REPRO_SCALE`` (default 1.0) scales workload sizes for quick runs.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+    return runner

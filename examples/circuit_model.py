@@ -1,0 +1,39 @@
+"""The PIM circuit model (paper §4, §6.3, §6.4).
+
+Reproduces Table 2, the overhead analysis, the Monte Carlo stability
+claim, and the ROB-512 scalability study.
+
+Run:  python examples/circuit_model.py
+"""
+
+from repro.circuit import (BitlineModel, SRAM8TArray, format_scalability,
+                           format_table2, overhead_report,
+                           simulate_bitcount)
+
+
+def main():
+    print(format_table2())
+
+    print("\n" + overhead_report().format())
+
+    print("\nBit count encoding (voltage-drop sensing on one 96-column "
+          "RBL):")
+    model = BitlineModel(96)
+    print(f"  drop per set bit: {model.drop_per_bit_mv():.1f} mV; "
+          f"Vref for IW=4: {model.vref_for_threshold_mv(4):.0f} mV")
+    for threshold in (2, 4, 8):
+        result = simulate_bitcount(model, threshold, trials=10000)
+        print(f"  IW={threshold}: margin {result.margin_sigma:.1f} sigma, "
+              f"failures {result.failures}/{result.trials}")
+
+    print("\n" + format_scalability())
+
+    print("\nCustom geometry example — a 160-entry IQ age matrix:")
+    array = SRAM8TArray(160, 160, banks=4)
+    print(f"  area {array.area_mm2():.4f} mm2, "
+          f"read {array.read_latency_ps():.0f} ps, "
+          f"meets 2 GHz: {array.meets_timing()}")
+
+
+if __name__ == "__main__":
+    main()

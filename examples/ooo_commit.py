@@ -1,0 +1,41 @@
+"""Out-of-order commit study (paper §6.2, Figure 15).
+
+Runs the commit-policy design space — IOC, Orinoco, Validation Buffer,
+NOREBA-style branch relaxation, Cherry-style speculative bounds, DeSC's
+early committed loads — over kernels stressing different blockers.
+
+Run:  python examples/ooo_commit.py
+"""
+
+from repro.harness import format_table
+from repro.pipeline import base_config, simulate
+from repro.workloads import build_trace
+
+KERNELS = ["xalanc.hash", "omnet.tree", "blender.matmul", "lbm.stream"]
+POLICIES = ["ioc", "orinoco", "vb", "vb_noecl", "br", "spec", "ecl"]
+
+
+def main():
+    rows = []
+    for name in KERNELS:
+        trace = build_trace(name)
+        stats = {policy: simulate(trace, base_config(commit=policy))
+                 for policy in POLICIES}
+        base = stats["ioc"].ipc
+        rows.append([name] + [f"{stats[p].ipc / base:.3f}"
+                              for p in POLICIES])
+    print(format_table(["kernel"] + POLICIES, rows,
+                       title="Commit policy speedups vs IOC "
+                             "(Figure 15 style)"))
+    print("""
+Reading the table:
+  * xalanc.hash   — window-limited MLP: Orinoco/VB/SPEC unclog it;
+  * omnet.tree    — branches blocked on slow loads: only BR/SPEC help;
+  * blender.matmul— register-bound: Orinoco frees registers, VB cannot
+                    (the paper's own critique of post-commit execution);
+  * lbm.stream    — streaming misses: early reclamation extends the
+                    effective window.""")
+
+
+if __name__ == "__main__":
+    main()

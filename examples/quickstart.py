@@ -1,0 +1,59 @@
+"""Quickstart: build a program, simulate it, compare commit policies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa import ProgramBuilder, trace_program
+from repro.pipeline import base_config, simulate
+
+
+def build_program():
+    """A loop with a cache-missing load and independent younger work —
+    the pattern where out-of-order commit pays off."""
+    b = ProgramBuilder("quickstart")
+    b.li("x1", 0)                # induction variable
+    b.li("x2", 300)              # trip count
+    b.li("x3", 0x100000)         # array base
+    b.li("x28", 12345).li("x29", 1664525)
+    b.label("loop")
+    # a pseudo-random indexed load: usually a DRAM miss
+    b.mul("x28", "x28", "x29")
+    b.addi("x28", "x28", 1013904223)
+    b.srli("x4", "x28", 16)
+    b.andi("x4", "x4", 0xFFF8)
+    b.add("x4", "x4", "x3")
+    b.ld("x5", "x4", 0)
+    b.add("x6", "x6", "x5")      # consumer of the load
+    # independent younger work that in-order commit holds hostage
+    b.addi("x10", "x1", 1)
+    b.slli("x11", "x10", 2)
+    b.xor("x12", "x11", "x1")
+    b.addi("x1", "x1", 1)
+    b.blt("x1", "x2", "loop")
+    b.halt()
+    return b.build()
+
+
+def main():
+    program = build_program()
+    print(program.listing()[:400], "...\n")
+
+    trace = trace_program(program)
+    print(f"dynamic trace: {trace.summary()}\n")
+
+    baseline = simulate(trace, base_config(scheduler="age", commit="ioc"))
+    orinoco = simulate(trace, base_config(scheduler="orinoco",
+                                          commit="orinoco"))
+
+    print(f"baseline (AGE + in-order commit): IPC {baseline.ipc:.3f} "
+          f"in {baseline.cycles} cycles")
+    print(f"Orinoco (ordered issue + unordered commit): "
+          f"IPC {orinoco.ipc:.3f} in {orinoco.cycles} cycles")
+    print(f"speedup: {orinoco.ipc / baseline.ipc:.3f}x")
+    print(f"\nfull-window stalls: {baseline.full_window_stall_cycles} -> "
+          f"{orinoco.full_window_stall_cycles}")
+    print(f"L1 miss rate: {orinoco.memory['l1_miss_rate']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment lacks `wheel`, which PEP 660 editable installs
+require; the legacy `setup.py develop` path used via
+`--no-use-pep517` does not. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

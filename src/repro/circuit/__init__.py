@@ -1,0 +1,22 @@
+"""PIM circuit model: 8T SRAM arrays, bit line computing, comparisons."""
+
+from .alternatives import (CollapsibleQueueCost, DynamicLogicMatrix,
+                           StaticLogicMatrix)
+from .bitline import BitlineModel
+from .montecarlo import (MonteCarloResult, simulate_bitcount,
+                         verify_six_sigma)
+from .report import (MatrixSpec, OverheadReport, PAPER_TABLE2,
+                     ScalabilityRow, TABLE2_MATRICES, Table2Row,
+                     format_scalability, format_table2, overhead_report,
+                     scalability_report, table2)
+from .sram import SRAM8TArray
+from .technology import CORE_22NM, TECH_28NM, CoreCostModel, Technology
+
+__all__ = ["CollapsibleQueueCost", "DynamicLogicMatrix",
+           "StaticLogicMatrix", "BitlineModel", "MonteCarloResult",
+           "simulate_bitcount", "verify_six_sigma", "MatrixSpec",
+           "OverheadReport", "PAPER_TABLE2", "ScalabilityRow",
+           "TABLE2_MATRICES", "Table2Row", "format_scalability",
+           "format_table2", "overhead_report", "scalability_report",
+           "table2", "SRAM8TArray", "CORE_22NM", "TECH_28NM",
+           "CoreCostModel", "Technology"]

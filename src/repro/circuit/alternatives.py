@@ -1,0 +1,109 @@
+"""Comparison designs (paper §6.3): dynamic-logic 12T matrices, static
+logic, and the collapsible queue's compacting circuit.
+
+These provide the three headline contrasts:
+* PIM vs 12T dynamic logic → 3.75× area reduction at equal size;
+* static logic fails timing beyond 64×64 (reduction-tree depth + wires);
+* a 96-entry collapsible IQ burns ≈ 2.1 W (~70× the PIM age matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sram import SRAM8TArray
+from .technology import TECH_28NM, Technology
+
+
+@dataclass
+class DynamicLogicMatrix:
+    """Prior-work matrix scheduler: 12T cells in dynamic logic.
+
+    8 of the 12 transistors store the dependency; 4 implement the AND /
+    wired-NOR.  Even with careful layout the density stays half that of
+    push-rule SRAM (§4), so relative to the PIM array the area grows by
+    12/8 (transistors) × 2 (density) × 1.25 (periphery that the PIM
+    design folds into the array) = 3.75×.
+    """
+
+    rows: int
+    cols: int
+    tech: Technology = TECH_28NM
+
+    TRANSISTORS_PER_CELL = 12
+    DENSITY_PENALTY = 2.0
+    PERIPHERY_PENALTY = 1.25
+
+    def transistor_count(self) -> int:
+        return self.TRANSISTORS_PER_CELL * self.rows * self.cols
+
+    def area_mm2(self) -> float:
+        pim = SRAM8TArray(self.rows, self.cols, banks=1, tech=self.tech)
+        scale = (self.TRANSISTORS_PER_CELL / 8.0) * self.DENSITY_PENALTY \
+            * self.PERIPHERY_PENALTY
+        return pim.area_mm2() * scale
+
+    def area_ratio_vs_pim(self) -> float:
+        pim = SRAM8TArray(self.rows, self.cols, banks=1, tech=self.tech)
+        return self.area_mm2() / pim.area_mm2()
+
+
+@dataclass
+class StaticLogicMatrix:
+    """Matrix scheduler in static logic: register file + gates.
+
+    The per-row AND feeds a C-input reduction tree; beyond modest sizes
+    the wiring of the reduction dominates and the cycle time cannot be
+    constrained (§6.3: "extremely hard to constrain when the size
+    exceeds 64×64")."""
+
+    rows: int
+    cols: int
+    tech: Technology = TECH_28NM
+
+    GATE_DELAY_PS = 30.0
+    WIRE_PS_PER_CELL = 3.5
+
+    def latency_ps(self) -> float:
+        levels = max(1, (self.cols - 1).bit_length())
+        return self.GATE_DELAY_PS * levels + self.WIRE_PS_PER_CELL \
+            * self.cols
+
+    def meets_timing(self, clock_ghz: float = None) -> bool:
+        clock = clock_ghz if clock_ghz is not None else self.tech.clock_ghz
+        return self.latency_ps() <= 1000.0 / clock
+
+    def max_feasible_size(self, clock_ghz: float = None) -> int:
+        """Largest power-of-two square that still meets timing."""
+        size = 1
+        while StaticLogicMatrix(size * 2, size * 2,
+                                self.tech).meets_timing(clock_ghz):
+            size *= 2
+        return size
+
+
+@dataclass
+class CollapsibleQueueCost:
+    """Power of a SHIFT (collapsible) issue queue.
+
+    Compaction potentially reads and rewrites *every* entry every cycle
+    — entry payloads are tens of bytes, so the energy dwarfs a bit
+    matrix.  Calibrated to the paper's 2.1 W at 96 entries.
+    """
+
+    entries: int
+    entry_bits: int = 160           # payload+tags of one IQ entry
+    tech: Technology = TECH_28NM
+
+    #: read+write energy per entry-bit per compaction (fJ)
+    ENERGY_PER_BIT_FJ = 68.0
+
+    def power_w(self, clock_ghz: float = None,
+                activity: float = 1.0) -> float:
+        clock = clock_ghz if clock_ghz is not None else self.tech.clock_ghz
+        energy_pj = self.entries * self.entry_bits \
+            * self.ENERGY_PER_BIT_FJ / 1000.0
+        return energy_pj * clock * activity / 1000.0
+
+    def ratio_vs_age_matrix(self, age_matrix_power_w: float) -> float:
+        return self.power_w() / age_matrix_power_w

@@ -1,0 +1,65 @@
+"""Bit line computing: voltage-drop bit counting (paper §4.1).
+
+During a PIM read every activated cell storing a one discharges the
+precharged read bit line with current I; the voltage drop after the
+sense window is proportional to the number of ones.  Thresholding the
+RBL voltage against a reference therefore computes
+``popcount(row & vec) < k`` — the bit count encoding — with a plain
+single-ended sense amplifier and no ADC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .technology import TECH_28NM, Technology
+
+
+@dataclass
+class BitlineModel:
+    """Analytic RBL discharge for one array geometry."""
+
+    columns: int                    # cells attached to one RBL
+    sense_window_ps: float = 40.0
+    tech: Technology = TECH_28NM
+
+    @property
+    def capacitance_ff(self) -> float:
+        return self.columns * self.tech.bitline_cap_ff_per_row
+
+    def drop_per_bit_mv(self) -> float:
+        """Voltage drop contributed by a single discharging cell."""
+        # dV = I * t / C      (uA * ps / fF = mV)
+        return (self.tech.cell_current_ua * self.sense_window_ps
+                / self.capacitance_ff)
+
+    def voltage_mv(self, ones: int) -> float:
+        """RBL voltage after the sense window with ``ones`` set cells."""
+        drop = min(ones * self.drop_per_bit_mv(),
+                   self.tech.vdd * 1000.0)   # clips at full discharge
+        return self.tech.vdd * 1000.0 - drop
+
+    def vref_for_threshold_mv(self, threshold: int) -> float:
+        """Reference voltage so that ``ones < threshold`` senses high.
+
+        Placed halfway between the expected levels for
+        ``threshold - 1`` and ``threshold`` ones — the per-issue-width
+        reference the SAs are regulated to (§4.1, Figure 9).
+        """
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        upper = self.voltage_mv(threshold - 1)
+        lower = self.voltage_mv(threshold)
+        return (upper + lower) / 2.0
+
+    def sense(self, ones: int, threshold: int,
+              vref_mv: Optional[float] = None) -> bool:
+        """Nominal (variation-free) sensing: True when ones < threshold."""
+        reference = vref_mv if vref_mv is not None \
+            else self.vref_for_threshold_mv(threshold)
+        return self.voltage_mv(ones) > reference
+
+    def margin_mv(self, threshold: int) -> float:
+        """Nominal sensing margin on either side of the reference."""
+        return self.drop_per_bit_mv() / 2.0

@@ -1,0 +1,138 @@
+"""8T SRAM PIM array model: area, timing, energy (paper §4).
+
+One :class:`SRAM8TArray` models one matrix scheduler: an R×C array of
+8T cells with transposed read bit lines / read word lines, horizontal
+multibanking for superscalar dispatch (§4.3) and optional vertical
+splitting for very large arrays (§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TECH_28NM, Technology
+
+
+@dataclass
+class SRAM8TArray:
+    """One PIM matrix scheduler array."""
+
+    rows: int
+    cols: int
+    banks: int = 4
+    #: vertical segments: RBLs cut into this many pieces, partial
+    #: results combined with a NOR tree (§6.4); 1 = no split
+    vertical_splits: int = 1
+    tech: Technology = TECH_28NM
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.banks < 1 or self.rows % self.banks:
+            raise ValueError("rows must divide evenly into banks")
+        if self.vertical_splits < 1 or self.rows % self.vertical_splits:
+            raise ValueError("rows must divide evenly into segments")
+
+    # -- area ------------------------------------------------------------
+
+    def cell_count(self) -> int:
+        return self.rows * self.cols
+
+    def transistor_count(self) -> int:
+        return 8 * self.cell_count()
+
+    def area_mm2(self) -> float:
+        """Array area including periphery.
+
+        Because the RBLs stay integrated across banks, sense amplifiers
+        are not duplicated per bank (§6.3) — only the fixed per-bank
+        control is."""
+        tech = self.tech
+        cells = self.cell_count() * tech.cell_area_um2
+        periphery = (self.rows * tech.periph_row_um2
+                     + self.cols * tech.periph_col_um2
+                     + self.banks * tech.bank_fixed_um2)
+        # a vertical split duplicates the column periphery per segment
+        if self.vertical_splits > 1:
+            periphery += (self.vertical_splits - 1) \
+                * self.cols * tech.periph_col_um2
+        return (cells + periphery) / 1e6
+
+    # -- timing -----------------------------------------------------------
+
+    def read_latency_ps(self) -> float:
+        """One PIM operation: precharge-activate-sense on all rows."""
+        tech = self.tech
+        rows_on_rbl = self.rows // self.vertical_splits
+        latency = (tech.read_base_ps
+                   + tech.read_per_row_ps * rows_on_rbl
+                   + tech.read_per_col_ps * (self.cols // self.banks))
+        if self.vertical_splits > 1:
+            latency += tech.split_nor_ps
+        return latency
+
+    def row_write_ps(self) -> float:
+        """Dispatch-time full-row write."""
+        tech = self.tech
+        return (tech.write_base_ps
+                + tech.write_per_line_ps * (self.cols // self.banks)
+                + tech.write_per_line_ps * self.rows / self.vertical_splits)
+
+    def column_clear_ps(self) -> float:
+        """Dual-supply-voltage column-wise clear (§4.2) — same path
+        length as a row write in this model."""
+        return self.row_write_ps()
+
+    def meets_timing(self, clock_ghz: float = None) -> bool:
+        clock = clock_ghz if clock_ghz is not None else self.tech.clock_ghz
+        return self.read_latency_ps() <= 1000.0 / clock
+
+    def min_vertical_splits(self, clock_ghz: float = None) -> int:
+        """Smallest power-of-two vertical split meeting the clock (§6.4)."""
+        splits = 1
+        while splits <= self.rows:
+            candidate = SRAM8TArray(self.rows, self.cols, self.banks,
+                                    splits, self.tech)
+            if candidate.meets_timing(clock_ghz):
+                return splits
+            splits *= 2
+        raise ValueError(
+            f"{self.rows}x{self.cols} cannot meet timing at any split")
+
+    # -- energy -------------------------------------------------------------
+
+    def pim_op_energy_pj(self, active_rows: int = None,
+                         active_cols: int = None) -> float:
+        """Energy of one PIM read: precharged RBLs discharge, activated
+        RWLs toggle, sense amplifiers fire.
+
+        ``active_rows`` = precharged row lines (requesting entries),
+        ``active_cols`` = activated word lines (the applied vector).
+        """
+        tech = self.tech
+        rows = self.rows if active_rows is None else active_rows
+        cols = self.cols if active_cols is None else active_cols
+        energy_fj = (
+            # each precharged RBL swings; its capacitance grows with the
+            # attached cells (one per column), reduced by vertical splits
+            rows * self.cols * tech.bitline_energy_fj_per_row
+            / self.vertical_splits
+            # one sense amplifier fires per precharged row
+            + rows * tech.sa_energy_fj
+            # activated word lines toggle across their bank's rows
+            + cols * (self.rows / self.banks)
+            * tech.wordline_energy_fj_per_col)
+        return energy_fj / 1000.0
+
+    def write_energy_pj(self) -> float:
+        """Row write or column clear: one full line of cells toggles."""
+        energy_fj = self.cols * self.tech.write_energy_fj_per_cell * 8
+        return energy_fj / 1000.0
+
+    def power_w(self, ops_per_cycle: float, writes_per_cycle: float = 0.0,
+                clock_ghz: float = None, active_rows: int = None) -> float:
+        """Activity-based power at the scheduler clock."""
+        clock = clock_ghz if clock_ghz is not None else self.tech.clock_ghz
+        energy_pj = (ops_per_cycle * self.pim_op_energy_pj(active_rows)
+                     + writes_per_cycle * self.write_energy_pj())
+        return energy_pj * clock / 1000.0

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artefacts:
+
+* ``kernels``       — list the workload suite
+* ``run``           — simulate one kernel under one configuration
+* ``fig14``/``fig15``/``fig16`` — regenerate the figures
+* ``table1``/``table2``         — regenerate the tables
+* ``stalls``        — the §2.2/§6.2 stall statistics
+* ``overhead``      — the §6.3 overhead report
+* ``scalability``   — the §6.4 scaling study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuit import (format_scalability, format_table2, overhead_report)
+from .harness import (fig14, fig15, fig16, format_characterization,
+                      hbar_chart, stall_breakdown, table1, table2_measured)
+from .isa import save_trace
+from .pipeline import (COMMITS, SCHEDULERS, O3Core, Timeline,
+                       make_config, simulate)
+from .workloads import build_trace, kernel_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--kernels", nargs="*", default=None,
+                        help="restrict to these suite kernels")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orinoco (ISCA 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the workload suite")
+
+    run = sub.add_parser("run", help="simulate one kernel")
+    run.add_argument("kernel", help="suite kernel name (see `kernels`)")
+    run.add_argument("--preset", default="base",
+                     choices=("base", "pro", "ultra"))
+    run.add_argument("--scheduler", default="age", choices=SCHEDULERS)
+    run.add_argument("--commit", default="ioc", choices=COMMITS)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--timeline", type=int, default=0, metavar="N",
+                     help="render a pipeline timeline of the first N "
+                          "instructions")
+
+    _add_common(sub.add_parser(
+        "characterize", help="profile the workload suite"))
+
+    save = sub.add_parser("save-trace",
+                          help="emulate a kernel and save its trace")
+    save.add_argument("kernel")
+    save.add_argument("path")
+    save.add_argument("--scale", type=float, default=1.0)
+
+    for name, help_text in (("fig14", "priority scheduling (Figure 14)"),
+                            ("fig15", "out-of-order commit (Figure 15)"),
+                            ("fig16", "core-size sensitivity (Figure 16)"),
+                            ("stalls", "stall statistics (§2.2/§6.2)")):
+        _add_common(sub.add_parser(name, help=help_text))
+
+    sub.add_parser("table1", help="core configurations (Table 1)")
+    table2_parser = sub.add_parser(
+        "table2", help="matrix scheduler parameters (Table 2)")
+    table2_parser.add_argument(
+        "--measured", action="store_true",
+        help="compute power from simulated pipeline activities")
+    _add_common(table2_parser)
+    sub.add_parser("overhead", help="area/power overheads (§6.3)")
+    sub.add_parser("scalability", help="array scaling study (§6.4)")
+    return parser
+
+
+def _cmd_run(args) -> str:
+    trace = build_trace(args.kernel, args.scale)
+    config = make_config(args.preset, scheduler=args.scheduler,
+                         commit=args.commit)
+    core = O3Core(trace, config)
+    timeline = Timeline.attach(core) if args.timeline else None
+    stats = core.run()
+    lines = [stats.summary(),
+             f"  occupancy: ROB {stats.occupancy('rob'):.1f} "
+             f"IQ {stats.occupancy('iq'):.1f} "
+             f"LQ {stats.occupancy('lq'):.1f}",
+             f"  memory: " + ", ".join(
+                 f"{k}={v:.3g}" for k, v in stats.memory.items())]
+    if timeline is not None:
+        lines.append(timeline.render(count=args.timeline))
+        lines.append(f"  out-of-order commits: "
+                     f"{timeline.out_of_order_commits()}")
+    return "\n".join(lines)
+
+
+def _cmd_stalls(args) -> str:
+    data = stall_breakdown(scale=args.scale, names=args.kernels)
+    lines = []
+    for label in ("IOC", "Orinoco"):
+        entry = data[label]
+        lines.append(f"{label}:")
+        lines.append(f"  commit-stall cycles: {entry['commit_stalls']}")
+        lines.append(f"  ready-but-not-head fraction: "
+                     f"{entry['ready_not_head_frac']:.1%} (paper 72%)")
+        lines.append(f"  during ROB-full stalls: "
+                     f"{entry['fw_ready_frac']:.1%} (paper 76%)")
+        lines.append(f"  dispatch stalls: ROB {entry['rob']} "
+                     f"IQ {entry['iq']} LQ {entry['lq']} "
+                     f"REG {entry['reg']}")
+    reduction = data.get("reduction")
+    if reduction:
+        lines.append(f"Orinoco reduces full-window stalls by "
+                     f"{reduction['full_window_stalls']:.1%}, ROB stalls "
+                     f"by {reduction['rob_stalls']:.1%}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:          # e.g. `repro kernels | head`
+        return 0
+
+
+def _dispatch(args) -> int:
+    command = args.command
+    if command == "kernels":
+        print("\n".join(kernel_names()))
+    elif command == "run":
+        print(_cmd_run(args))
+    elif command == "characterize":
+        print(format_characterization(scale=args.scale,
+                                      names=args.kernels))
+    elif command == "save-trace":
+        trace = build_trace(args.kernel, args.scale)
+        save_trace(trace, args.path)
+        print(f"wrote {len(trace)} instructions to {args.path}")
+    elif command == "fig14":
+        result = fig14(scale=args.scale, names=args.kernels)
+        print(result.format())
+        print()
+        print(hbar_chart(result.summary, title="geomean speedup vs AGE"))
+    elif command == "fig15":
+        result = fig15(scale=args.scale, names=args.kernels)
+        print(result.format())
+        print()
+        print(hbar_chart(result.summary, title="geomean speedup vs IOC"))
+    elif command == "fig16":
+        print(fig16(scale=args.scale, names=args.kernels).format())
+    elif command == "stalls":
+        print(_cmd_stalls(args))
+    elif command == "table1":
+        print(table1())
+    elif command == "table2":
+        if args.measured:
+            rows = table2_measured(scale=args.scale, names=args.kernels)
+            print(format_table2(rows))
+        else:
+            print(format_table2())
+    elif command == "overhead":
+        print(overhead_report().format())
+    elif command == "scalability":
+        print(format_scalability())
+    return 0
+
+
+if __name__ == "__main__":       # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Commit policies: in-order, Orinoco, and prior-work comparisons."""
+
+from .policies import (CherryCommit, CherryNoRobCommit, CommitPolicy,
+                       DescCommit, InOrderCommit, NorebaCommit,
+                       NorebaNoEclCommit, OrinocoCommit, RobOnlyCommit,
+                       ValidationBufferCommit, ValidationBufferNoEclCommit,
+                       make_commit_policy)
+
+__all__ = ["CherryCommit", "CherryNoRobCommit", "CommitPolicy", "DescCommit",
+           "InOrderCommit", "NorebaCommit", "NorebaNoEclCommit",
+           "OrinocoCommit", "RobOnlyCommit", "ValidationBufferCommit",
+           "ValidationBufferNoEclCommit", "make_commit_policy"]

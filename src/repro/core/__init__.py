@@ -1,0 +1,14 @@
+"""Orinoco's contribution: matrix schedulers over non-collapsible queues."""
+
+from .age_matrix import AgeMatrix
+from .bitmatrix import BitMatrix
+from .commit_matrix import CommitDependencyMatrix, MergedCommitMatrix
+from .disambiguation import MemoryDisambiguationMatrix
+from .lockdown import LockdownEntry, LockdownMatrix
+from .wakeup_matrix import WakeupMatrix
+
+__all__ = [
+    "AgeMatrix", "BitMatrix", "CommitDependencyMatrix", "MergedCommitMatrix",
+    "MemoryDisambiguationMatrix", "LockdownEntry", "LockdownMatrix",
+    "WakeupMatrix",
+]

@@ -1,0 +1,85 @@
+"""Memory disambiguation matrix (paper §3.3, Figure 6).
+
+Rows are load queue entries, columns are store queue entries.  Bit
+``(l, s)`` means *load l issued speculatively past store s whose address
+was still unresolved*.  When a store resolves its address it reads its
+column to find the speculative loads, clears the bits of non-conflicting
+loads, and squash-replays conflicting ones.  A load becomes
+non-speculative (its SPEC bit in the ROB can clear, enabling early
+commit) when its row reduction-NORs to zero and no replay is pending.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .bitmatrix import BitMatrix
+
+
+class MemoryDisambiguationMatrix:
+    """Load/store dependency tracker over non-collapsible LQ/SQ."""
+
+    def __init__(self, lq_size: int, sq_size: int):
+        self.lq_size = lq_size
+        self.sq_size = sq_size
+        self.matrix = BitMatrix(lq_size, sq_size)
+        self.load_valid = np.zeros(lq_size, dtype=bool)
+        self.store_valid = np.zeros(sq_size, dtype=bool)
+
+    # -- load side -------------------------------------------------------
+
+    def load_issue(self, lq_entry: int, unresolved_stores: np.ndarray) -> None:
+        """A load issues; mark the older stores with unresolved addresses.
+
+        ``unresolved_stores`` is a boolean mask over SQ entries computed
+        by the LSQ (older than the load, address not yet known).
+        """
+        self.matrix.set_row(lq_entry, unresolved_stores & self.store_valid)
+        self.load_valid[lq_entry] = True
+
+    def load_remove(self, lq_entry: int) -> None:
+        """The load leaves the LQ (commit or squash)."""
+        self.load_valid[lq_entry] = False
+        self.matrix.clear_row(lq_entry)
+
+    def load_is_nonspeculative(self, lq_entry: int) -> bool:
+        """True when every older store the load bypassed has resolved."""
+        return not self.matrix.row(lq_entry).any()
+
+    def nonspeculative_loads(self) -> np.ndarray:
+        """Grant vector over the LQ: rows that reduction-NOR to zero."""
+        clear = self.matrix.and_reduce_nor(np.ones(self.sq_size, dtype=bool))
+        return clear & self.load_valid
+
+    # -- store side ---------------------------------------------------------
+
+    def store_allocate(self, sq_entry: int) -> None:
+        if self.store_valid[sq_entry]:
+            raise ValueError(f"SQ entry {sq_entry} already valid")
+        self.store_valid[sq_entry] = True
+        self.matrix.clear_column(sq_entry)
+
+    def store_dependents(self, sq_entry: int) -> np.ndarray:
+        """Column read: speculative loads that bypassed this store."""
+        return self.matrix.column(sq_entry) & self.load_valid
+
+    def store_resolve(self, sq_entry: int,
+                      conflicting_loads: np.ndarray) -> List[int]:
+        """The store's address is now known.
+
+        Clears the column for non-conflicting loads and returns the LQ
+        entries of conflicting speculative loads, which the LSQ must
+        squash-replay.  The conflict mask comes from the LSQ's address
+        comparison.
+        """
+        dependents = self.store_dependents(sq_entry)
+        conflicts = dependents & conflicting_loads
+        self.matrix.clear_column(sq_entry)
+        return [int(idx) for idx in np.flatnonzero(conflicts)]
+
+    def store_remove(self, sq_entry: int) -> None:
+        """The store leaves the SQ; it can no longer block any load."""
+        self.store_valid[sq_entry] = False
+        self.matrix.clear_column(sq_entry)

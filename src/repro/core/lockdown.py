@@ -1,0 +1,97 @@
+"""Lockdown matrix and lockdown table for TSO load-load ordering
+(paper §3.3, Figure 7).
+
+Under TSO, a load that *commits* before an older load has *performed*
+reorders the load→load edge.  Following Ros et al., the reordering is
+made non-speculative by locking down the committed load's cache line:
+invalidation acknowledgements and evictions for that address are
+withheld until every older load has performed, at which point the
+reordering can no longer be observed by other cores.
+
+With a non-collapsible LQ the closest-older-load hand-off of the
+original scheme breaks, so Orinoco tracks each committed load against
+*all* of its older non-performed loads in a lockdown matrix: rows are
+lockdown table (LDT) entries (committed loads), columns are LQ entries.
+A performed load clears its column; a lockdown lifts when its row
+reduction-NORs to zero.  Multiple lockdowns may cover one address; the
+address is released only when all of them lift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bitmatrix import BitMatrix
+
+
+@dataclass
+class LockdownEntry:
+    """One LDT entry: a committed load still awaiting older loads."""
+
+    address: int
+    load_seq: int
+
+
+class LockdownMatrix:
+    """Tracks committed loads against older non-performed LQ loads."""
+
+    def __init__(self, ldt_size: int, lq_size: int):
+        self.ldt_size = ldt_size
+        self.lq_size = lq_size
+        self.matrix = BitMatrix(ldt_size, lq_size)
+        self.entries: List[Optional[LockdownEntry]] = [None] * ldt_size
+        #: locked address → number of active lockdowns covering it
+        self._locks: Dict[int, int] = {}
+
+    def has_free_entry(self) -> bool:
+        return any(entry is None for entry in self.entries)
+
+    def lockdown(self, address: int, load_seq: int,
+                 older_nonperformed: np.ndarray) -> int:
+        """A load commits past older non-performed loads; lock its line.
+
+        Returns the LDT entry index.  Raises if the LDT is full — the
+        commit logic must stall early load commit in that case.
+        """
+        if not np.any(older_nonperformed):
+            raise ValueError(
+                "lockdown requires at least one older non-performed load; "
+                "an ordered load commits without locking")
+        for idx, entry in enumerate(self.entries):
+            if entry is None:
+                self.entries[idx] = LockdownEntry(address, load_seq)
+                self.matrix.set_row(idx, older_nonperformed)
+                self._locks[address] = self._locks.get(address, 0) + 1
+                return idx
+        raise RuntimeError("lockdown table full")
+
+    def load_performed(self, lq_entry: int) -> List[int]:
+        """An LQ load performed: clear its column; return lifted locks.
+
+        The returned list holds addresses whose *last* lockdown lifted
+        this cycle, i.e. whose invalidation acks may now be released.
+        """
+        self.matrix.clear_column(lq_entry)
+        released: List[int] = []
+        for idx, entry in enumerate(self.entries):
+            if entry is None:
+                continue
+            if not self.matrix.row(idx).any():
+                self.entries[idx] = None
+                count = self._locks[entry.address] - 1
+                if count:
+                    self._locks[entry.address] = count
+                else:
+                    del self._locks[entry.address]
+                    released.append(entry.address)
+        return released
+
+    def is_locked(self, address: int) -> bool:
+        """Would an invalidation/eviction of ``address`` be withheld?"""
+        return address in self._locks
+
+    def active_lockdowns(self) -> int:
+        return sum(entry is not None for entry in self.entries)

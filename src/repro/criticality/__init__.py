@@ -1,0 +1,7 @@
+"""Criticality detection: critical count table, IST, IBDA, tagging."""
+
+from .criticality import (CriticalCountTable, CriticalityTagger,
+                          InstructionSliceTable, clear_tags, ibda)
+
+__all__ = ["CriticalCountTable", "CriticalityTagger",
+           "InstructionSliceTable", "clear_tags", "ibda"]

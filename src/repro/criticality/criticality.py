@@ -1,0 +1,134 @@
+"""Criticality detection: CCT + IST + IBDA (paper §3.1 and §6.2).
+
+The paper identifies critical instructions with a 64-entry critical
+count table (CCT) tracking the most frequent cache-missing loads and
+mispredicted branches, and marks their backward dependency slices with
+iterative backward dependency analysis (IBDA, Carlson et al.) through a
+1024-entry instruction slice table (IST).  The marked instructions are
+dispatched into the age matrix as critical, making them "older" than
+every non-critical instruction.
+
+Here the CCT is fed from a profiling simulation (per-PC L1-miss and
+misprediction counts collected by the core), standing in for the
+hardware performance counters the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..isa import Trace
+
+
+class CriticalCountTable:
+    """Bounded table of event counts per PC; keeps the hottest PCs."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self.counts: Dict[int, int] = {}
+
+    def record(self, pc: int, count: int = 1) -> None:
+        if pc in self.counts:
+            self.counts[pc] += count
+            return
+        if len(self.counts) < self.capacity:
+            self.counts[pc] = count
+            return
+        # replace the smallest-count entry if the newcomer beats it
+        victim = min(self.counts, key=self.counts.get)
+        if self.counts[victim] < count:
+            del self.counts[victim]
+            self.counts[pc] = count
+
+    def top(self, k: int = None) -> List[int]:
+        pcs = sorted(self.counts, key=self.counts.get, reverse=True)
+        return pcs if k is None else pcs[:k]
+
+
+class InstructionSliceTable:
+    """Bounded set of PCs belonging to critical slices."""
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._pcs: Set[int] = set()
+
+    def add(self, pc: int) -> bool:
+        if pc in self._pcs:
+            return False
+        if len(self._pcs) >= self.capacity:
+            return False
+        self._pcs.add(pc)
+        return True
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._pcs
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def pcs(self) -> Set[int]:
+        return set(self._pcs)
+
+
+def ibda(trace: Trace, source_pcs: Iterable[int],
+         ist: InstructionSliceTable, passes: int = 2) -> InstructionSliceTable:
+    """Iterative backward dependency analysis.
+
+    Walk the trace; whenever an instruction whose PC is in the IST (or
+    is a critical source) appears, insert the PCs of the producers of
+    its source operands.  Loops make a small number of passes converge.
+    """
+    for pc in source_pcs:
+        ist.add(pc)
+    for _ in range(passes):
+        last_writer_pc: Dict[int, int] = {}
+        grew = False
+        for instr in trace:
+            if instr.pc in ist:
+                for src in instr.srcs:
+                    producer = last_writer_pc.get(src)
+                    if producer is not None:
+                        grew |= ist.add(producer)
+            if instr.dst is not None:
+                last_writer_pc[instr.dst] = instr.pc
+        if not grew:
+            break
+    return ist
+
+
+class CriticalityTagger:
+    """End-to-end: profile counts → CCT → IBDA slice → tagged trace."""
+
+    def __init__(self, cct_capacity: int = 64, ist_capacity: int = 1024,
+                 sources: int = 16, passes: int = 2):
+        self.cct = CriticalCountTable(cct_capacity)
+        self.ist_capacity = ist_capacity
+        self.sources = sources
+        self.passes = passes
+
+    def feed_profile(self, pc_l1_misses: Dict[int, int],
+                     pc_mispredicts: Dict[int, int]) -> None:
+        for pc, count in pc_l1_misses.items():
+            self.cct.record(pc, count)
+        for pc, count in pc_mispredicts.items():
+            self.cct.record(pc, count)
+
+    def critical_pcs(self, trace: Trace) -> Set[int]:
+        ist = InstructionSliceTable(self.ist_capacity)
+        return ibda(trace, self.cct.top(self.sources), ist,
+                    self.passes).pcs()
+
+    def tag(self, trace: Trace) -> int:
+        """Mark critical instructions in-place; returns how many."""
+        pcs = self.critical_pcs(trace)
+        tagged = 0
+        for instr in trace:
+            instr.critical = instr.pc in pcs
+            tagged += instr.critical
+        return tagged
+
+
+def clear_tags(trace: Trace) -> None:
+    """Remove criticality tags (traces are shared between runs)."""
+    for instr in trace:
+        instr.critical = False

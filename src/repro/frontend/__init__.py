@@ -1,0 +1,14 @@
+"""Front end: branch prediction and trace-driven fetch."""
+
+from .bimodal import BimodalPredictor, SaturatingCounter
+from .btb import BranchTargetBuffer
+from .fetch import FetchedInstr, FetchUnit
+from .gshare import GsharePredictor
+from .predictor import BranchPredictor, make_predictor
+from .ras import ReturnAddressStack
+from .tage import TagePredictor
+
+__all__ = ["BimodalPredictor", "SaturatingCounter", "BranchTargetBuffer",
+           "FetchedInstr", "FetchUnit", "GsharePredictor",
+           "BranchPredictor", "make_predictor", "ReturnAddressStack",
+           "TagePredictor"]

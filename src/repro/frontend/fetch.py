@@ -1,0 +1,126 @@
+"""Trace-driven fetch unit.
+
+Feeds the pipeline from the dynamic trace, modelling the front end's
+control-flow behaviour: a mispredicted branch stops fetch at the branch
+(the machine is fetching the wrong path); when the branch resolves in
+the back end, fetch resumes after a redirect penalty.  A taken
+(correctly predicted) control transfer ends the fetch group for the
+cycle, modelling one-taken-branch-per-cycle fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa import DynInstr, OpClass, Opcode, Trace
+from .predictor import BranchPredictor
+
+#: synthetic wrong-path instruction mix: mostly simple ALU work with the
+#: occasional multiply, mirroring a typical integer path
+_WP_OPCODES = (Opcode.ADD, Opcode.XOR, Opcode.ADDI, Opcode.SLL,
+               Opcode.ADD, Opcode.MUL)
+
+
+@dataclass
+class FetchedInstr:
+    """A fetched dynamic instruction with its prediction verdict."""
+
+    instr: DynInstr
+    mispredicted: bool
+    wrong_path: bool = False
+
+
+class FetchUnit:
+    """Pulls instructions from the trace under prediction constraints.
+
+    While stalled behind a mispredicted branch, the machine is really
+    fetching down the wrong path; those instructions occupy IQ/ROB
+    entries and compete for issue until the branch resolves.  The unit
+    models this by emitting synthetic wrong-path instructions (see
+    DESIGN.md) — they are what age-ordered selection protects the
+    correct path from.
+    """
+
+    def __init__(self, trace: Trace, predictor: BranchPredictor,
+                 width: int, redirect_penalty: int = 10,
+                 model_wrong_path: bool = True):
+        self.trace = trace
+        self.predictor = predictor
+        self.width = width
+        self.redirect_penalty = redirect_penalty
+        self.model_wrong_path = model_wrong_path
+        self._next = 0
+        #: seq of the mispredicted branch fetch is stalled behind
+        self._stalled_on: Optional[int] = None
+        #: cycle at which fetch may resume after a resolved redirect
+        self._resume_at = 0
+        self.fetched = 0
+        self.stall_cycles = 0
+        self.wrong_path_fetched = 0
+        self._wp_counter = 0
+
+    def exhausted(self) -> bool:
+        return self._next >= len(self.trace)
+
+    def _wrong_path_instr(self) -> DynInstr:
+        self._wp_counter += 1
+        opcode = _WP_OPCODES[self._wp_counter % len(_WP_OPCODES)]
+        return DynInstr(
+            seq=-self._wp_counter, pc=-1, opcode=opcode,
+            op_class=opcode.op_class, dst=None, srcs=(), imm=0, addr=None,
+            taken=False, next_pc=-1, fault=False, critical=False)
+
+    def fetch(self, cycle: int, max_count: Optional[int] = None
+              ) -> List[FetchedInstr]:
+        """Fetch up to ``min(width, max_count)`` instructions this cycle."""
+        if self.exhausted():
+            return []
+        if self._stalled_on is not None:
+            self.stall_cycles += 1
+            if not self.model_wrong_path:
+                return []
+            budget = self.width if max_count is None else min(self.width,
+                                                              max_count)
+            group = [FetchedInstr(self._wrong_path_instr(), False,
+                                  wrong_path=True) for _ in range(budget)]
+            self.wrong_path_fetched += len(group)
+            return group
+        if cycle < self._resume_at:
+            self.stall_cycles += 1
+            return []
+        budget = self.width if max_count is None else min(self.width,
+                                                          max_count)
+        group: List[FetchedInstr] = []
+        while budget > 0 and not self.exhausted():
+            instr = self.trace[self._next]
+            mispredicted = self.predictor.predict(instr) \
+                if instr.is_branch else False
+            group.append(FetchedInstr(instr, mispredicted))
+            self._next += 1
+            self.fetched += 1
+            budget -= 1
+            if mispredicted:
+                # fetching proceeds down the wrong path; no further
+                # correct-path instructions until the branch resolves
+                self._stalled_on = instr.seq
+                break
+            if instr.is_branch and instr.taken:
+                break  # taken transfer ends the fetch group
+        return group
+
+    def branch_resolved(self, seq: int, cycle: int) -> None:
+        """The back end resolved branch ``seq`` at ``cycle``."""
+        if self._stalled_on == seq:
+            self._stalled_on = None
+            self._resume_at = cycle + self.redirect_penalty
+
+    def squash_to(self, seq: int, cycle: int) -> None:
+        """Restart fetch after a non-branch squash (exception replay).
+
+        Rewinds the trace pointer to the instruction right after ``seq``
+        and charges the redirect penalty.
+        """
+        self._next = seq + 1
+        self._stalled_on = None
+        self._resume_at = cycle + self.redirect_penalty

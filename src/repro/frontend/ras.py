@@ -1,0 +1,27 @@
+"""Return address stack for predicting JALR returns."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Bounded call/return predictor stack (wraps on overflow)."""
+
+    def __init__(self, depth: int = 32):
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) == self.depth:
+            del self._stack[0]
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        return self._stack.pop() if self._stack else None
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,20 @@
+"""Experiment harness: runners, per-figure experiments, reporting."""
+
+from .characterize import (KernelProfile, characterize,
+                           format_characterization)
+from .circuit_link import measured_activities, table2_measured
+from .experiments import (ExperimentResult, FIG15_CONFIGS, fig14, fig15,
+                          fig16, stall_breakdown, table1)
+from .plots import grouped_bars, hbar_chart, sparkline
+from .report import format_speedup_matrix, format_table, percent
+from .runner import (SuiteResult, geomean, geomean_speedup, run_config,
+                     run_config_with_criticality, speedups)
+
+__all__ = ["KernelProfile", "characterize", "format_characterization",
+           "grouped_bars", "hbar_chart", "sparkline",
+           "measured_activities", "table2_measured",
+           "ExperimentResult", "FIG15_CONFIGS", "fig14", "fig15", "fig16",
+           "stall_breakdown", "table1", "format_speedup_matrix",
+           "format_table", "percent", "SuiteResult", "geomean",
+           "geomean_speedup", "run_config", "run_config_with_criticality",
+           "speedups"]

@@ -1,0 +1,230 @@
+"""Per-figure / per-table experiment drivers (paper §6).
+
+Each function reproduces one evaluation artefact and returns an
+:class:`ExperimentResult` whose ``format()`` prints the same rows or
+series the paper reports.  The bench harness under ``benchmarks/``
+calls these and records paper-vs-measured in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..pipeline import CoreConfig, make_config
+from ..workloads import build_suite
+from .report import format_speedup_matrix, format_table, percent
+from .runner import (SuiteResult, geomean, geomean_speedup, run_config,
+                     run_config_with_criticality, speedups)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table."""
+
+    name: str
+    description: str
+    #: configuration label -> geomean speedup vs the experiment baseline
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: workload -> {configuration label -> speedup}
+    per_workload: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    baseline_label: str = ""
+    results: Dict[str, SuiteResult] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        order = [label for label in self.results if label
+                 != self.baseline_label]
+        parts = [format_speedup_matrix(self.per_workload, order,
+                                       title=self.name,
+                                       baseline=self.baseline_label)]
+        rows = [(label, f"{value:.3f}", percent(value))
+                for label, value in self.summary.items()]
+        parts.append(format_table(["config", "geomean", "gain"], rows,
+                                  title=f"{self.name} — geomean"))
+        if self.notes:
+            parts.append("notes: " + "; ".join(self.notes))
+        return "\n\n".join(parts)
+
+
+def _collect(results: Dict[str, SuiteResult], baseline_label: str,
+             name: str, description: str) -> ExperimentResult:
+    baseline = results[baseline_label]
+    experiment = ExperimentResult(name, description,
+                                  baseline_label=baseline_label,
+                                  results=results)
+    for label, result in results.items():
+        if label == baseline_label:
+            continue
+        per = speedups(result, baseline)
+        for workload, value in per.items():
+            experiment.per_workload.setdefault(workload, {})[label] = value
+        experiment.summary[label] = geomean(list(per.values()))
+    return experiment
+
+
+def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
+          preset: str = "base", progress: bool = False) -> ExperimentResult:
+    """Figure 14: IPC improvements of priority scheduling.
+
+    Baseline AGE; comparisons MULT, Orinoco, CRI w/ AGE, CRI w/ Orinoco
+    — all with in-order commit.
+    """
+    traces = build_suite(scale, names)
+    base = make_config(preset, commit="ioc")
+    results: Dict[str, SuiteResult] = {}
+    results["AGE"] = run_config(
+        "AGE", base.with_policies(scheduler="age"), traces, progress)
+    results["MULT"] = run_config(
+        "MULT", base.with_policies(scheduler="mult"), traces, progress)
+    results["Orinoco"] = run_config(
+        "Orinoco", base.with_policies(scheduler="orinoco"), traces,
+        progress)
+    profile_config = base.with_policies(scheduler="age")
+    results["CRI w/ AGE"] = run_config_with_criticality(
+        "CRI w/ AGE", base.with_policies(scheduler="age", criticality=True),
+        traces, profile_config, progress)
+    results["CRI w/ Orinoco"] = run_config_with_criticality(
+        "CRI w/ Orinoco", base.with_policies(scheduler="cri"),
+        traces, profile_config, progress)
+    return _collect(results, "AGE", "Figure 14",
+                    "IPC improvement of priority scheduling over AGE")
+
+
+#: Figure 15 configuration labels -> commit policy names.
+FIG15_CONFIGS = {
+    "Orinoco": "orinoco",
+    "VB": "vb",
+    "VB w/o ECL": "vb_noecl",
+    "BR": "br",
+    "BR w/o ECL": "br_noecl",
+    "SPEC": "spec",
+    "SPEC w/o ROB": "spec_norob",
+    "ECL": "ecl",
+    "ROB": "rob",
+}
+
+
+def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
+          preset: str = "base", progress: bool = False) -> ExperimentResult:
+    """Figure 15: IPC improvements of out-of-order commit over IOC
+    (all with the AGE scheduler, as in the paper's baseline)."""
+    traces = build_suite(scale, names)
+    base = make_config(preset, scheduler="age")
+    results: Dict[str, SuiteResult] = {}
+    results["IOC"] = run_config("IOC", base.with_policies(commit="ioc"),
+                                traces, progress)
+    for label, commit in FIG15_CONFIGS.items():
+        results[label] = run_config(
+            label, base.with_policies(commit=commit), traces, progress)
+    return _collect(results, "IOC", "Figure 15",
+                    "IPC improvement of out-of-order commit over IOC")
+
+
+def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
+          progress: bool = False) -> ExperimentResult:
+    """Figure 16: sensitivity to core size (Base / Pro / Ultra).
+
+    For each size, speedups of priority scheduling (Orinoco issue),
+    out-of-order commit (Orinoco commit) and both over that size's
+    AGE+IOC baseline.
+    """
+    traces = build_suite(scale, names)
+    experiment = ExperimentResult(
+        "Figure 16", "normalized performance sensitivity",
+        baseline_label="AGE+IOC")
+    for preset in ("base", "pro", "ultra"):
+        base = make_config(preset, scheduler="age", commit="ioc")
+        baseline = run_config(f"{preset}: AGE+IOC", base, traces, progress)
+        variants = {
+            "priority": base.with_policies(scheduler="orinoco"),
+            "ooo-commit": base.with_policies(commit="orinoco"),
+            "synergy": base.with_policies(scheduler="orinoco",
+                                          commit="orinoco"),
+        }
+        experiment.results[f"{preset}: AGE+IOC"] = baseline
+        for kind, config in variants.items():
+            label = f"{preset}: {kind}"
+            result = run_config(label, config, traces, progress)
+            experiment.results[label] = result
+            per = speedups(result, baseline)
+            for workload, value in per.items():
+                experiment.per_workload.setdefault(
+                    workload, {})[label] = value
+            experiment.summary[label] = geomean(list(per.values()))
+    return experiment
+
+
+def stall_breakdown(scale: float = 1.0,
+                    names: Optional[List[str]] = None,
+                    preset: str = "base",
+                    progress: bool = False) -> Dict[str, Dict[str, float]]:
+    """§2.2 / §6.2 statistics.
+
+    Returns, for IOC and Orinoco commit:
+      * fraction of commit-stall cycles with a committable-but-not-head
+        instruction (paper: 72% for the baseline);
+      * same during full-window stalls (paper: 76%);
+      * full-window stall cycles (Orinoco reduces them by ~65%);
+      * per-resource dispatch-stall breakdown.
+    """
+    traces = build_suite(scale, names)
+    base = make_config(preset, scheduler="age")
+    out: Dict[str, Dict[str, float]] = {}
+    for label, commit in (("IOC", "ioc"), ("Orinoco", "orinoco")):
+        result = run_config(label, base.with_policies(commit=commit),
+                            traces, progress)
+        total = {"commit_stalls": 0, "ready_not_head": 0,
+                 "full_window": 0, "fw_ready": 0, "rob_full": 0,
+                 "rob": 0, "iq": 0, "lq": 0, "sq": 0, "reg": 0,
+                 "cycles": 0}
+        for stats in result.stats.values():
+            total["commit_stalls"] += stats.commit_stall_cycles
+            total["ready_not_head"] += stats.stalled_commit_ready_cycles
+            total["full_window"] += stats.full_window_stall_cycles
+            total["fw_ready"] += stats.full_window_commit_ready_cycles
+            total["rob_full"] += stats.rob_full_commit_stall_cycles
+            total["rob"] += stats.stall_rob
+            total["iq"] += stats.stall_iq
+            total["lq"] += stats.stall_lq
+            total["sq"] += stats.stall_sq
+            total["reg"] += stats.stall_reg
+            total["cycles"] += stats.cycles
+        total["ready_not_head_frac"] = (
+            total["ready_not_head"] / total["commit_stalls"]
+            if total["commit_stalls"] else 0.0)
+        total["fw_ready_frac"] = (
+            total["fw_ready"] / total["rob_full"]
+            if total["rob_full"] else 0.0)
+        out[label] = total
+    if out["IOC"]["full_window"]:
+        out["reduction"] = {
+            "full_window_stalls": 1.0 - (out["Orinoco"]["full_window"]
+                                         / out["IOC"]["full_window"]),
+            "rob_stalls": 1.0 - (out["Orinoco"]["rob"]
+                                 / out["IOC"]["rob"])
+            if out["IOC"]["rob"] else 0.0,
+            "lq_stalls": 1.0 - (out["Orinoco"]["lq"] / out["IOC"]["lq"])
+            if out["IOC"]["lq"] else 0.0,
+            "reg_stalls": 1.0 - (out["Orinoco"]["reg"]
+                                 / out["IOC"]["reg"])
+            if out["IOC"]["reg"] else 0.0,
+        }
+    return out
+
+
+def table1() -> str:
+    """Table 1: the three core configurations."""
+    rows = []
+    for preset in ("base", "pro", "ultra"):
+        config = make_config(preset)
+        rows.append([
+            preset.capitalize(),
+            f"{config.issue_width}/{config.commit_width}",
+            config.rob_size, config.iq_size,
+            f"{config.lq_size}/{config.sq_size}",
+            config.rf_size, config.fu_total,
+        ])
+    return format_table(
+        ["Size", "IW/CW", "ROB", "IQ", "LQ/SQ", "RF", "FU"], rows,
+        title="Table 1: Microarchitecture Configurations")

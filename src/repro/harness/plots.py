@@ -1,0 +1,53 @@
+"""Plain-text bar charts for the figure reports (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def hbar_chart(values: Dict[str, float], title: str = "",
+               width: int = 48, baseline: float = 1.0,
+               fmt: str = "{:+.1%}") -> str:
+    """Horizontal bars of (value - baseline), styled like the paper's
+    speedup figures: bars grow right for gains, left for losses."""
+    if not values:
+        return title
+    deltas = {k: v - baseline for k, v in values.items()}
+    biggest = max(abs(d) for d in deltas.values()) or 1.0
+    half = width // 2
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        delta = deltas[key]
+        length = int(round(abs(delta) / biggest * half))
+        if delta >= 0:
+            bar = " " * half + "|" + "#" * length
+        else:
+            bar = " " * (half - length) + "#" * length + "|"
+        bar = bar.ljust(width + 1)
+        lines.append(f"{key.ljust(label_width)} {bar} "
+                     f"{fmt.format(delta)}")
+    return "\n".join(lines)
+
+
+def grouped_bars(groups: Dict[str, Dict[str, float]], title: str = "",
+                 width: int = 40, baseline: float = 1.0) -> str:
+    """One hbar block per group (e.g. per core size in Figure 16)."""
+    blocks = [title] if title else []
+    for group, values in groups.items():
+        blocks.append(hbar_chart(values, title=f"[{group}]", width=width,
+                                 baseline=baseline))
+    return "\n\n".join(blocks)
+
+
+def sparkline(series: Sequence[float], width: Optional[int] = None) -> str:
+    """Compact trend line using block characters."""
+    if not series:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(series), max(series)
+    span = (hi - lo) or 1.0
+    points = series if width is None else \
+        [series[int(i * len(series) / width)] for i in range(width)]
+    return "".join(blocks[1 + int((v - lo) / span * (len(blocks) - 2))]
+                   for v in points)

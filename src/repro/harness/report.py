@@ -1,0 +1,49 @@
+"""Plain-text report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(row):
+        return "  ".join(cell.ljust(widths[i]) if i == 0 else
+                         cell.rjust(widths[i])
+                         for i, cell in enumerate(row))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_speedup_matrix(per_workload: Dict[str, Dict[str, float]],
+                          config_order: List[str],
+                          title: str = "",
+                          baseline: str = "") -> str:
+    """Rows = workloads, columns = configurations, cells = speedup."""
+    headers = ["workload"] + config_order
+    rows = []
+    for workload in sorted(per_workload):
+        row = [workload]
+        for config in config_order:
+            value = per_workload[workload].get(config)
+            row.append("-" if value is None else f"{value:.3f}")
+        rows.append(row)
+    if baseline:
+        title = f"{title} (speedup vs {baseline})" if title else \
+            f"speedup vs {baseline}"
+    return format_table(headers, rows, title)
+
+
+def percent(value: float) -> str:
+    return f"{(value - 1.0) * 100:+.1f}%"

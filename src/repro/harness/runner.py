@@ -1,0 +1,78 @@
+"""Experiment runner: simulate suites of (config, workload) pairs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..criticality import CriticalityTagger, clear_tags
+from ..isa import Trace
+from ..pipeline import CoreConfig, O3Core, SimStats
+
+
+@dataclass
+class SuiteResult:
+    """IPC (and full stats) for one configuration across the suite."""
+
+    label: str
+    config: CoreConfig
+    stats: Dict[str, SimStats] = field(default_factory=dict)
+
+    def ipc(self, workload: str) -> float:
+        return self.stats[workload].ipc
+
+    def workloads(self) -> List[str]:
+        return list(self.stats)
+
+
+def run_config(label: str, config: CoreConfig,
+               traces: Dict[str, Trace],
+               progress: bool = False) -> SuiteResult:
+    """Simulate every trace under ``config``."""
+    result = SuiteResult(label, config)
+    for name, trace in traces.items():
+        if progress:
+            print(f"    {label}: {name}", flush=True)
+        result.stats[name] = O3Core(trace, config).run()
+    return result
+
+
+def run_config_with_criticality(label: str, config: CoreConfig,
+                                traces: Dict[str, Trace],
+                                profile_config: CoreConfig,
+                                progress: bool = False) -> SuiteResult:
+    """CRI runs: profile under ``profile_config`` (HPC stand-in), tag
+    the critical slices via CCT+IBDA, simulate, then clear the tags."""
+    result = SuiteResult(label, config)
+    for name, trace in traces.items():
+        if progress:
+            print(f"    {label}: {name} (profile+run)", flush=True)
+        profiler = O3Core(trace, profile_config)
+        profiler.run()
+        tagger = CriticalityTagger()
+        tagger.feed_profile(profiler.pc_l1_misses, profiler.pc_mispredicts)
+        tagger.tag(trace)
+        try:
+            result.stats[name] = O3Core(trace, config).run()
+        finally:
+            clear_tags(trace)
+    return result
+
+
+def geomean(values: List[float]) -> float:
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values)
+                    / len(values))
+
+
+def speedups(result: SuiteResult, baseline: SuiteResult
+             ) -> Dict[str, float]:
+    """Per-workload IPC ratio vs the baseline configuration."""
+    return {name: result.ipc(name) / baseline.ipc(name)
+            for name in baseline.workloads()}
+
+
+def geomean_speedup(result: SuiteResult, baseline: SuiteResult) -> float:
+    return geomean(list(speedups(result, baseline).values()))

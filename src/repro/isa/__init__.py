@@ -1,0 +1,22 @@
+"""A small RISC-V-like ISA: definition, assembly, and functional emulation."""
+
+from .assembler import AssemblerError, assemble
+from .builder import ProgramBuilder
+from .emulator import Emulator, EmulatorError, trace_program
+from .instructions import (CTRL_CLASSES, FAULTING_CLASSES, MEM_CLASSES,
+                           Instruction, OpClass, Opcode, opcode_from_mnemonic)
+from .program import Program
+from .registers import (FP_BASE, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS,
+                        ZERO_REG, fp_reg, int_reg, is_fp, parse_reg, reg_name)
+from .trace import DynInstr, Trace
+from .tracefile import load_trace, save_trace
+
+__all__ = [
+    "AssemblerError", "assemble", "ProgramBuilder", "Emulator",
+    "EmulatorError", "trace_program", "CTRL_CLASSES", "FAULTING_CLASSES",
+    "MEM_CLASSES", "Instruction", "OpClass", "Opcode",
+    "opcode_from_mnemonic", "Program", "FP_BASE", "NUM_ARCH_REGS",
+    "NUM_FP_REGS", "NUM_INT_REGS", "ZERO_REG", "fp_reg", "int_reg", "is_fp",
+    "parse_reg", "reg_name", "DynInstr", "Trace", "load_trace",
+    "save_trace",
+]

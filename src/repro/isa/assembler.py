@@ -1,0 +1,162 @@
+"""Two-pass text assembler.
+
+Accepts a conventional assembly syntax::
+
+        li   x1, 0
+        li   x2, 10
+    loop:
+        addi x1, x1, 1
+        ld   x3, 8(x4)
+        sd   x3, 0(x5)
+        blt  x1, x2, loop
+        halt
+
+Directives: ``.word ADDR VALUE`` seeds data memory, ``.name NAME`` sets
+the program name.  Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .builder import ProgramBuilder
+from .instructions import Instruction, Opcode, opcode_from_mnemonic
+from .program import Program
+from .registers import parse_reg
+
+_MEM_OPERAND = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+_RRR_OPS = {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+            Opcode.SLL, Opcode.SRL, Opcode.SLT, Opcode.MUL, Opcode.DIV,
+            Opcode.REM, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+_RRI_OPS = {Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI,
+            Opcode.SLLI, Opcode.SRLI}
+_LOAD_OPS = {Opcode.LD, Opcode.FLD}
+_STORE_OPS = {Opcode.SD, Opcode.FSD}
+_BRANCH_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+
+class AssemblerError(Exception):
+    """Raised with a line number on malformed assembly input."""
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {lineno}: bad integer {token!r}") from exc
+
+
+def _parse_mem(token: str, lineno: int) -> Tuple[int, int]:
+    match = _MEM_OPERAND.match(token.replace(" ", ""))
+    if not match:
+        raise AssemblerError(f"line {lineno}: bad memory operand {token!r}")
+    return int(match.group(1)), parse_reg(match.group(2))
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    builder = ProgramBuilder()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#")[0].split(";")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label:
+                raise AssemblerError(f"line {lineno}: empty label")
+            builder.label(label)
+            line = line.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            _directive(builder, line, lineno)
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        try:
+            opcode = opcode_from_mnemonic(mnemonic)
+        except ValueError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        operands = _split_operands(rest)
+        builder.emit(_encode(opcode, operands, lineno))
+    return builder.build()
+
+
+def _directive(builder: ProgramBuilder, line: str, lineno: int) -> None:
+    parts = line.split()
+    if parts[0] == ".word":
+        if len(parts) != 3:
+            raise AssemblerError(f"line {lineno}: .word ADDR VALUE")
+        addr = _parse_int(parts[1], lineno)
+        try:
+            value: float = int(parts[2], 0)
+        except ValueError:
+            value = float(parts[2])
+        builder.data_word(addr, value)
+    elif parts[0] == ".name":
+        if len(parts) != 2:
+            raise AssemblerError(f"line {lineno}: .name NAME")
+        builder.name = parts[1]
+    else:
+        raise AssemblerError(f"line {lineno}: unknown directive {parts[0]!r}")
+
+
+def _encode(opcode: Opcode, operands: List[str], lineno: int) -> Instruction:
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"line {lineno}: {opcode.mnemonic} takes {count} operands, "
+                f"got {len(operands)}")
+
+    if opcode in _RRR_OPS:
+        need(3)
+        return Instruction(opcode, rd=parse_reg(operands[0]),
+                           rs1=parse_reg(operands[1]),
+                           rs2=parse_reg(operands[2]))
+    if opcode in _RRI_OPS:
+        need(3)
+        return Instruction(opcode, rd=parse_reg(operands[0]),
+                           rs1=parse_reg(operands[1]),
+                           imm=_parse_int(operands[2], lineno))
+    if opcode is Opcode.LI:
+        need(2)
+        return Instruction(opcode, rd=parse_reg(operands[0]),
+                           imm=_parse_int(operands[1], lineno))
+    if opcode in _LOAD_OPS:
+        need(2)
+        imm, base = _parse_mem(operands[1], lineno)
+        return Instruction(opcode, rd=parse_reg(operands[0]), rs1=base, imm=imm)
+    if opcode in _STORE_OPS:
+        need(2)
+        imm, base = _parse_mem(operands[1], lineno)
+        return Instruction(opcode, rs1=base, rs2=parse_reg(operands[0]),
+                           imm=imm)
+    if opcode in _BRANCH_OPS:
+        need(3)
+        return Instruction(opcode, rs1=parse_reg(operands[0]),
+                           rs2=parse_reg(operands[1]), target=operands[2])
+    if opcode is Opcode.JAL:
+        need(2)
+        return Instruction(opcode, rd=parse_reg(operands[0]),
+                           target=operands[1])
+    if opcode is Opcode.JALR:
+        if len(operands) == 2:
+            operands = operands + ["0"]
+        need(3)
+        return Instruction(opcode, rd=parse_reg(operands[0]),
+                           rs1=parse_reg(operands[1]),
+                           imm=_parse_int(operands[2], lineno))
+    if opcode in (Opcode.NOP, Opcode.HALT, Opcode.FENCE):
+        need(0)
+        return Instruction(opcode)
+    raise AssemblerError(  # pragma: no cover - opcode space is closed
+        f"line {lineno}: cannot encode {opcode.mnemonic}")

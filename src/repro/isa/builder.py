@@ -1,0 +1,214 @@
+"""Programmatic assembly builder.
+
+The workload kernels construct programs through this fluent API rather
+than text assembly — it keeps register usage explicit and lets labels
+be declared before or after their uses::
+
+    b = ProgramBuilder("loop-demo")
+    b.li("x1", 0)
+    b.label("loop")
+    b.addi("x1", "x1", 1)
+    b.blt("x1", "x2", "loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .instructions import Instruction, Opcode
+from .program import Program
+from .registers import parse_reg
+
+RegLike = Union[str, int]
+
+
+def _reg(value: RegLike) -> int:
+    return parse_reg(value) if isinstance(value, str) else value
+
+
+class ProgramBuilder:
+    """Accumulates instructions and resolves labels at :meth:`build`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._code: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, float] = {}
+
+    # -- structure ---------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name!r}")
+        self._labels[name] = len(self._code)
+        return self
+
+    def data_word(self, addr: int, value: float) -> "ProgramBuilder":
+        self._data[addr] = value
+        return self
+
+    def data_block(self, base: int, values) -> "ProgramBuilder":
+        for i, value in enumerate(values):
+            self._data[base + 8 * i] = value
+        return self
+
+    def emit(self, instr: Instruction) -> "ProgramBuilder":
+        self._code.append(instr)
+        return self
+
+    def build(self) -> Program:
+        code = []
+        for instr in self._code:
+            if isinstance(instr.target, str):
+                if instr.target not in self._labels:
+                    raise ValueError(f"undefined label: {instr.target!r}")
+                instr = Instruction(
+                    opcode=instr.opcode, rd=instr.rd, rs1=instr.rs1,
+                    rs2=instr.rs2, imm=instr.imm,
+                    target=self._labels[instr.target], fault=instr.fault)
+            code.append(instr)
+        program = Program(code=code, data=dict(self._data), name=self.name,
+                          labels=dict(self._labels))
+        program.validate()
+        return program
+
+    # -- ALU ----------------------------------------------------------
+
+    def _rrr(self, op: Opcode, rd: RegLike, rs1: RegLike, rs2: RegLike):
+        return self.emit(Instruction(op, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def _rri(self, op: Opcode, rd: RegLike, rs1: RegLike, imm: int):
+        return self.emit(Instruction(op, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def add(self, rd, rs1, rs2):
+        return self._rrr(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._rrr(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._rrr(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._rrr(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SRL, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._rrr(Opcode.SLT, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        return self._rri(Opcode.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._rri(Opcode.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._rri(Opcode.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._rri(Opcode.XORI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._rri(Opcode.SLTI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._rri(Opcode.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._rri(Opcode.SRLI, rd, rs1, imm)
+
+    def li(self, rd, imm):
+        return self.emit(Instruction(Opcode.LI, rd=_reg(rd), imm=imm))
+
+    def mv(self, rd, rs1):
+        return self._rri(Opcode.ADDI, rd, rs1, 0)
+
+    def mul(self, rd, rs1, rs2):
+        return self._rrr(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._rrr(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._rrr(Opcode.REM, rd, rs1, rs2)
+
+    # -- floating point ------------------------------------------------
+
+    def fadd(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FADD, rd, rs1, rs2)
+
+    def fsub(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FSUB, rd, rs1, rs2)
+
+    def fmul(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd, rs1, rs2):
+        return self._rrr(Opcode.FDIV, rd, rs1, rs2)
+
+    # -- memory ---------------------------------------------------------
+
+    def ld(self, rd, base, imm=0, fault=False):
+        return self.emit(Instruction(Opcode.LD, rd=_reg(rd), rs1=_reg(base),
+                                     imm=imm, fault=fault))
+
+    def sd(self, src, base, imm=0, fault=False):
+        return self.emit(Instruction(Opcode.SD, rs1=_reg(base), rs2=_reg(src),
+                                     imm=imm, fault=fault))
+
+    def fld(self, rd, base, imm=0, fault=False):
+        return self.emit(Instruction(Opcode.FLD, rd=_reg(rd), rs1=_reg(base),
+                                     imm=imm, fault=fault))
+
+    def fsd(self, src, base, imm=0, fault=False):
+        return self.emit(Instruction(Opcode.FSD, rs1=_reg(base), rs2=_reg(src),
+                                     imm=imm, fault=fault))
+
+    # -- control ---------------------------------------------------------
+
+    def _branch(self, op: Opcode, rs1, rs2, target):
+        return self.emit(Instruction(op, rs1=_reg(rs1), rs2=_reg(rs2),
+                                     target=target))
+
+    def beq(self, rs1, rs2, target):
+        return self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        return self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target):
+        return self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target):
+        return self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jal(self, rd, target):
+        return self.emit(Instruction(Opcode.JAL, rd=_reg(rd), target=target))
+
+    def jalr(self, rd, rs1, imm=0):
+        return self.emit(Instruction(Opcode.JALR, rd=_reg(rd), rs1=_reg(rs1),
+                                     imm=imm))
+
+    def j(self, target):
+        return self.jal("x0", target)
+
+    # -- system ---------------------------------------------------------
+
+    def nop(self):
+        return self.emit(Instruction(Opcode.NOP))
+
+    def fence(self):
+        return self.emit(Instruction(Opcode.FENCE))
+
+    def halt(self):
+        return self.emit(Instruction(Opcode.HALT))

@@ -1,0 +1,58 @@
+"""Program container: static code plus initial data memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instructions import Instruction, Opcode
+
+
+@dataclass
+class Program:
+    """A static program.
+
+    ``code`` is a list of :class:`Instruction`; the program counter is
+    the index into this list.  ``data`` holds the initial contents of
+    data memory as a mapping from byte address to 64-bit word value
+    (addresses must be 8-byte aligned).  ``name`` labels the program in
+    reports.
+    """
+
+    code: List[Instruction] = field(default_factory=list)
+    data: Dict[int, float] = field(default_factory=dict)
+    name: str = "program"
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.code[pc]
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ValueError on violation."""
+        for pc, instr in enumerate(self.code):
+            if instr.is_branch and instr.opcode is not Opcode.JALR:
+                if instr.target is None:
+                    raise ValueError(f"pc {pc}: control instruction without target")
+                if not 0 <= instr.target <= len(self.code):
+                    raise ValueError(
+                        f"pc {pc}: target {instr.target} outside program")
+        for addr in self.data:
+            if addr % 8 != 0:
+                raise ValueError(f"unaligned data address: {addr:#x}")
+            if addr < 0:
+                raise ValueError(f"negative data address: {addr:#x}")
+
+    def listing(self) -> str:
+        """Human-readable assembly listing with labels."""
+        by_pc: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(label)
+        lines = []
+        for pc, instr in enumerate(self.code):
+            for label in by_pc.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}  {instr}")
+        return "\n".join(lines)

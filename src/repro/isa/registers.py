@@ -1,0 +1,61 @@
+"""Architectural register name space.
+
+The ISA models a RISC-V-like machine with 32 integer registers
+(``x0``..``x31``, ``x0`` hardwired to zero) and 32 floating-point
+registers (``f0``..``f31``).  Throughout the code base a register is
+identified by a small integer: integer registers map to ``0..31`` and
+floating-point registers to ``32..63``.  This flat id space keeps the
+rename logic and dependency tracking uniform across both files.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Flat id of the hardwired zero register.
+ZERO_REG = 0
+
+#: Flat id of the first floating-point register.
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Return the flat register id of integer register ``x<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat register id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp(reg: int) -> bool:
+    """Return True if the flat register id names a floating-point register."""
+    return reg >= FP_BASE
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``x7``, ``f3``) into its flat id."""
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in "xf":
+        raise ValueError(f"bad register name: {name!r}")
+    try:
+        index = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name: {name!r}") from exc
+    return fp_reg(index) if name[0] == "f" else int_reg(index)
+
+
+def reg_name(reg: int) -> str:
+    """Return the canonical name of a flat register id."""
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg >= FP_BASE:
+        return f"f{reg - FP_BASE}"
+    return f"x{reg}"

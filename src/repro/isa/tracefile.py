@@ -1,0 +1,65 @@
+"""Dynamic trace serialization (JSON-lines).
+
+Traces are deterministic given a kernel and scale, but emulation of the
+bigger kernels takes a moment; serializing them lets benchmark sweeps
+and external tools share one artifact.  Format: one header line, then
+one compact JSON array per dynamic instruction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .instructions import OpClass, Opcode
+from .trace import DynInstr, Trace
+
+FORMAT_VERSION = 1
+
+_OPCODES = {op.name: op for op in Opcode}
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the JSONL trace format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {"format": "repro-trace", "version": FORMAT_VERSION,
+                  "name": trace.name, "count": len(trace)}
+        handle.write(json.dumps(header) + "\n")
+        for instr in trace:
+            record = [instr.seq, instr.pc, instr.opcode.name, instr.dst,
+                      list(instr.srcs), instr.imm, instr.addr,
+                      int(instr.taken), instr.next_pc, int(instr.fault)]
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a trace file") from exc
+        if header.get("format") != "repro-trace":
+            raise ValueError(f"{path}: not a trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}")
+        instrs = []
+        for line in handle:
+            seq, pc, opname, dst, srcs, imm, addr, taken, next_pc, fault \
+                = json.loads(line)
+            opcode = _OPCODES[opname]
+            instrs.append(DynInstr(
+                seq=seq, pc=pc, opcode=opcode, op_class=opcode.op_class,
+                dst=dst, srcs=tuple(srcs), imm=imm, addr=addr,
+                taken=bool(taken), next_pc=next_pc, fault=bool(fault),
+                critical=False))
+        if len(instrs) != header.get("count"):
+            raise ValueError(
+                f"{path}: truncated trace ({len(instrs)} of "
+                f"{header.get('count')} records)")
+    return Trace(instrs, name=header.get("name", path.stem))

@@ -1,0 +1,8 @@
+"""Load/store queue unit, store buffer, disambiguation, TSO litmus."""
+
+from .litmus import (LitmusOutcome, enumerate_outcomes, run_interleaving,
+                     tso_holds)
+from .lsq import LQEntry, LSQUnit, SBEntry, SQEntry
+
+__all__ = ["LitmusOutcome", "enumerate_outcomes", "run_interleaving",
+           "tso_holds", "LQEntry", "LSQUnit", "SBEntry", "SQEntry"]

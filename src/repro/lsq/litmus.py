@@ -1,0 +1,191 @@
+"""TSO litmus testing for non-speculative load-load reordering (§3.3).
+
+The classic message-passing (MP) litmus:
+
+    writer:  data = 1 ; flag = 1        (TSO keeps store order)
+    reader:  r1 = flag ; r2 = data      (TSO keeps load order)
+
+Forbidden under TSO: ``r1 == 1 and r2 == 0``.
+
+Orinoco commits the reader's *younger* load (``data``) out of order
+before the older one (``flag``) performs.  The outcome stays
+TSO-correct because the committed load's line is **locked down**: the
+writer's invalidation of ``data`` is not acknowledged until every older
+reader load has performed, so the writer's ``flag = 1`` (ordered after
+``data = 1``) cannot become visible to a reader that already bound
+``data = 0`` and will still read ``flag``.
+
+This module enumerates interleavings of a two-agent system — a writer
+issuing invalidation-based stores, and a reader whose loads may
+perform/commit out of order — with and without the lockdown matrix,
+and checks the observable outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core import LockdownMatrix
+
+DATA, FLAG = 0x100, 0x200
+
+
+@dataclass
+class LitmusOutcome:
+    r_flag: int
+    r_data: int
+
+    @property
+    def forbidden_under_tso(self) -> bool:
+        return self.r_flag == 1 and self.r_data == 0
+
+    def __hash__(self):
+        return hash((self.r_flag, self.r_data))
+
+    def __eq__(self, other):
+        return (self.r_flag, self.r_data) == (other.r_flag, other.r_data)
+
+
+class _Reader:
+    """The reader core's LQ: two loads, the younger may run early.
+
+    LQ entry 0 = older load (flag), entry 1 = younger load (data).
+    """
+
+    def __init__(self, use_lockdown: bool):
+        self.use_lockdown = use_lockdown
+        self.lockdown = LockdownMatrix(ldt_size=4, lq_size=2) \
+            if use_lockdown else None
+        self.performed = [False, False]
+        self.committed = [False, False]
+        self.values: List[Optional[int]] = [None, None]
+        #: lines this reader holds (can be invalidated)
+        self.cached: Set[int] = {DATA, FLAG}
+
+    def perform(self, index: int, memory: Dict[int, int]) -> None:
+        """A load obtains its value from the coherent memory image
+        (or its own cached copy — same value while the line is held)."""
+        addr = FLAG if index == 0 else DATA
+        self.values[index] = memory[addr]
+        self.performed[index] = True
+        if self.lockdown is not None:
+            self.lockdown.load_performed(index)
+
+    def commit_young_early(self) -> None:
+        """Commit the younger (data) load before the older performed."""
+        assert self.performed[1] and not self.performed[0]
+        self.committed[1] = True
+        if self.lockdown is not None:
+            older = np.zeros(2, dtype=bool)
+            older[0] = True
+            self.lockdown.lockdown(DATA, 1, older)
+
+    def may_ack_invalidation(self, addr: int) -> bool:
+        """Would this reader acknowledge an invalidation right now?"""
+        if self.lockdown is not None and self.lockdown.is_locked(addr):
+            return False
+        return True
+
+    def invalidate(self, addr: int) -> None:
+        """An acknowledged invalidation: performed-but-uncommitted
+        speculative loads to the line are squashed and must replay —
+        the standard TSO speculation support that the lockdown
+        mechanism complements (committed loads cannot replay; their
+        lines are protected by the withheld acknowledgement instead)."""
+        self.cached.discard(addr)
+        for index, load_addr in ((0, FLAG), (1, DATA)):
+            if load_addr != addr or not self.performed[index] \
+                    or self.committed[index]:
+                continue
+            # only loads that performed *out of order* (an older load
+            # has not performed yet) are vulnerable: the oldest
+            # outstanding load's value is ordered at its perform instant
+            older_unperformed = any(
+                not self.performed[older] for older in range(index))
+            if older_unperformed:
+                self.performed[index] = False
+                self.values[index] = None
+
+
+@dataclass
+class _Writer:
+    """TSO writer: stores drain in order; each store becomes globally
+    visible only after the reader acknowledged the invalidation."""
+
+    pending: List[Tuple[int, int]] = field(
+        default_factory=lambda: [(DATA, 1), (FLAG, 1)])
+
+    def next_store(self) -> Optional[Tuple[int, int]]:
+        return self.pending[0] if self.pending else None
+
+    def retire_store(self) -> None:
+        self.pending.pop(0)
+
+
+def run_interleaving(schedule: List[str],
+                     use_lockdown: bool) -> Optional[LitmusOutcome]:
+    """Execute one interleaving; returns the outcome or None if the
+    schedule was inapplicable (an event fired when not enabled)."""
+    memory = {DATA: 0, FLAG: 0}
+    reader = _Reader(use_lockdown)
+    writer = _Writer()
+    for event in schedule:
+        if event == "W":
+            store = writer.next_store()
+            if store is None:
+                return None
+            addr, value = store
+            if not reader.may_ack_invalidation(addr):
+                return None          # invalidation withheld: store waits
+            reader.invalidate(addr)
+            memory[addr] = value
+            writer.retire_store()
+        elif event == "Ld":          # younger load (data) performs
+            if reader.performed[1]:
+                return None
+            reader.perform(1, memory)
+        elif event == "Cd":          # younger load commits early
+            if reader.committed[1] or not reader.performed[1] \
+                    or reader.performed[0]:
+                return None
+            reader.commit_young_early()
+        elif event == "Lf":          # older load (flag) performs
+            if reader.performed[0]:
+                return None
+            reader.perform(0, memory)
+        else:                        # pragma: no cover
+            raise ValueError(event)
+    if not (reader.performed[0] and reader.performed[1]):
+        return None
+    return LitmusOutcome(r_flag=reader.values[0], r_data=reader.values[1])
+
+
+def enumerate_outcomes(use_lockdown: bool) -> Set[LitmusOutcome]:
+    """All observable outcomes over every interleaving of the writer's
+    two stores and the reader's (possibly reordered) loads."""
+    outcomes: Set[LitmusOutcome] = set()
+    # 5-event schedules cover the no-replay paths; 6/7-event schedules
+    # add the replays of invalidation-squashed speculative loads
+    for events in (["W", "W", "Ld", "Cd", "Lf"],
+                   ["W", "W", "Ld", "Cd", "Lf", "Ld"],
+                   ["W", "W", "Ld", "Cd", "Lf", "Lf"],
+                   ["W", "W", "Ld", "Cd", "Lf", "Ld", "Lf"]):
+        for schedule in set(itertools.permutations(events)):
+            outcome = run_interleaving(list(schedule), use_lockdown)
+            if outcome is not None:
+                outcomes.add(outcome)
+    # in-order execution outcomes are always possible too
+    for schedule in ([["Lf", "Ld", "W", "W"]], [["W", "W", "Lf", "Ld"]],
+                     [["W", "Lf", "W", "Ld"]], [["Lf", "W", "W", "Ld"]]):
+        outcome = run_interleaving(schedule[0], use_lockdown)
+        if outcome is not None:
+            outcomes.add(outcome)
+    return outcomes
+
+
+def tso_holds(outcomes: Set[LitmusOutcome]) -> bool:
+    return not any(o.forbidden_under_tso for o in outcomes)

@@ -1,0 +1,10 @@
+"""Memory hierarchy: caches, DRAM, prefetcher, TLB."""
+
+from .cache import Cache
+from .dram import DRAMModel
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .prefetcher import StreamPrefetcher
+from .tlb import TLB, TranslationResult
+
+__all__ = ["Cache", "DRAMModel", "HierarchyConfig", "MemoryHierarchy",
+           "StreamPrefetcher", "TLB", "TranslationResult"]

@@ -1,0 +1,44 @@
+"""DRAM latency model (DDR4-2400 behind the LLC).
+
+A bank-aware fixed-service-time model: each of ``banks`` banks serves
+one request at a time with ``access_latency`` core cycles of service;
+requests to a busy bank queue behind it.  This captures the two DRAM
+behaviours the evaluation depends on: long latency (the full-window
+stalls that out-of-order commit unclogs) and bandwidth saturation under
+MLP (so prefetching and OoO commit cannot create infinite overlap).
+"""
+
+from __future__ import annotations
+
+
+class DRAMModel:
+    """Per-bank queued fixed-latency DRAM."""
+
+    def __init__(self, access_latency: int = 180, banks: int = 16,
+                 line_size: int = 64):
+        self.access_latency = access_latency
+        self.banks = banks
+        self.line_size = line_size
+        self._bank_free_at = [0] * banks
+        self.requests = 0
+        self.total_latency = 0
+
+    def _bank(self, addr: int) -> int:
+        line = addr // self.line_size
+        # XOR-fold higher address bits into the bank index so power-of-two
+        # strides do not all land on one bank (address interleaving).
+        return (line ^ (line >> 4) ^ (line >> 8)) % self.banks
+
+    def access(self, addr: int, cycle: int) -> int:
+        """Issue a request at ``cycle``; return its completion latency."""
+        bank = self._bank(addr)
+        start = max(cycle, self._bank_free_at[bank])
+        finish = start + self.access_latency
+        self._bank_free_at[bank] = finish
+        latency = finish - cycle
+        self.requests += 1
+        self.total_latency += latency
+        return latency
+
+    def average_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0

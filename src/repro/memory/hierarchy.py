@@ -1,0 +1,154 @@
+"""Three-level cache hierarchy with MSHRs, prefetching, and DRAM.
+
+Latency composition follows Table 1: L1 32KB/8-way/4-cycle, L2
+256KB/8-way/12-cycle, LLC 1MB/16-way/36-cycle, DDR4 behind it.  The
+hierarchy is shared by demand loads (issued at execute), committed
+stores (drained from the store buffer), and prefetch fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cache import Cache
+from .dram import DRAMModel
+from .prefetcher import StreamPrefetcher
+
+
+@dataclass
+class HierarchyConfig:
+    line_size: int = 64
+    l1_size: int = 32 * 1024
+    l1_ways: int = 8
+    l1_latency: int = 4
+    l2_size: int = 256 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 12
+    llc_size: int = 1024 * 1024
+    llc_ways: int = 16
+    llc_latency: int = 36
+    dram_latency: int = 180
+    dram_banks: int = 16
+    mshrs: int = 32
+    prefetch_streams: int = 64
+    prefetch_degree: int = 2
+
+
+class MemoryHierarchy:
+    """L1 → L2 → LLC → DRAM with a stream prefetcher at the L1."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1 = Cache("L1D", cfg.l1_size, cfg.l1_ways, cfg.l1_latency,
+                        cfg.line_size)
+        self.l2 = Cache("L2", cfg.l2_size, cfg.l2_ways, cfg.l2_latency,
+                        cfg.line_size)
+        self.llc = Cache("LLC", cfg.llc_size, cfg.llc_ways, cfg.llc_latency,
+                         cfg.line_size)
+        self.dram = DRAMModel(cfg.dram_latency, cfg.dram_banks, cfg.line_size)
+        self.prefetcher = StreamPrefetcher(cfg.prefetch_streams,
+                                           cfg.prefetch_degree, cfg.line_size)
+        #: line id -> cycle at which an in-flight fill completes
+        self._pending: Dict[int, int] = {}
+        self.mshr_stalls = 0
+        self.demand_accesses = 0
+        self.prefetch_hits = 0
+
+    # -- internals --------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr // self.config.line_size
+
+    def _expire_pending(self, cycle: int) -> None:
+        done = [line for line, ready in self._pending.items()
+                if ready <= cycle]
+        for line in done:
+            del self._pending[line]
+
+    def _miss_path_latency(self, addr: int, cycle: int) -> int:
+        """Latency past a missing L1, filling lines on the way back."""
+        cfg = self.config
+        if self.l2.lookup(addr):
+            latency = cfg.l2_latency
+        elif self.llc.lookup(addr):
+            latency = cfg.llc_latency
+            self.l2.insert(addr)
+        else:
+            latency = cfg.llc_latency + self.dram.access(addr, cycle)
+            self.llc.insert(addr)
+            self.l2.insert(addr)
+        self.l1.insert(addr)
+        return latency
+
+    def _issue_prefetches(self, addr: int, cycle: int) -> None:
+        for target in self.prefetcher.on_miss(addr):
+            line = self._line(target)
+            if line in self._pending or self.l1.contains(target):
+                continue
+            if len(self._pending) >= self.config.mshrs:
+                break
+            # prefetch fills bypass demand stats
+            latency = self._miss_path_latency(target, cycle)
+            self._pending[line] = cycle + latency
+
+    # -- public interface -----------------------------------------------
+
+    def load(self, addr: int, cycle: int) -> Optional[int]:
+        """Demand load at ``cycle``; returns total latency, or None when
+        no MSHR is free (the load must retry)."""
+        cfg = self.config
+        self._expire_pending(cycle)
+        self.demand_accesses += 1
+        line = self._line(addr)
+        if line in self._pending:
+            # merge with the in-flight fill
+            self.prefetch_hits += 1
+            return max(cfg.l1_latency, self._pending[line] - cycle)
+        if self.l1.lookup(addr):
+            return cfg.l1_latency
+        if len(self._pending) >= cfg.mshrs:
+            self.mshr_stalls += 1
+            self.l1.misses -= 1   # retried access; don't double count
+            self.l1.accesses -= 1
+            return None
+        latency = cfg.l1_latency + self._miss_path_latency(addr, cycle)
+        self._pending[line] = cycle + latency
+        self._issue_prefetches(addr, cycle)
+        return latency
+
+    def store(self, addr: int, cycle: int) -> Optional[int]:
+        """Committed store drained from the store buffer.
+
+        Write-allocate through the MSHRs: a missing store claims a fill
+        buffer and completes into it when the line arrives, so the
+        store buffer is not serialized on miss latency.  Returns the
+        L1 write latency, or None when no MSHR is free (drain retries).
+        """
+        cfg = self.config
+        self._expire_pending(cycle)
+        line = self._line(addr)
+        if line in self._pending:
+            return cfg.l1_latency            # merge into the fill
+        if self.l1.lookup(addr, is_write=True):
+            return cfg.l1_latency
+        if len(self._pending) >= cfg.mshrs:
+            self.mshr_stalls += 1
+            self.l1.misses -= 1
+            self.l1.accesses -= 1
+            return None
+        latency = cfg.l1_latency + self._miss_path_latency(addr, cycle)
+        self._pending[line] = cycle + latency
+        self.l1.lookup(addr, is_write=True)   # mark dirty post-fill
+        return cfg.l1_latency
+
+    def stats(self) -> dict:
+        return {
+            "l1_miss_rate": self.l1.miss_rate(),
+            "l2_miss_rate": self.l2.miss_rate(),
+            "llc_miss_rate": self.llc.miss_rate(),
+            "dram_requests": self.dram.requests,
+            "mshr_stalls": self.mshr_stalls,
+            "prefetches_issued": self.prefetcher.issued,
+        }

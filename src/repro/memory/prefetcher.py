@@ -1,0 +1,58 @@
+"""Stream prefetcher (the paper's "64 streams" configuration).
+
+Classic next-line stream prefetcher: on a demand miss it checks whether
+the miss extends an existing stream (successive cache lines in one
+direction); confirmed streams prefetch ``degree`` lines ahead.  The
+hierarchy turns the returned line addresses into in-flight fills.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class StreamPrefetcher:
+    """Tracks up to ``streams`` independent access streams."""
+
+    def __init__(self, streams: int = 64, degree: int = 2,
+                 line_size: int = 64):
+        self.max_streams = streams
+        self.degree = degree
+        self.line_size = line_size
+        # stream id (starting line) -> (last line, direction, confidence)
+        self._streams: "OrderedDict[int, tuple]" = OrderedDict()
+        self.issued = 0
+
+    def on_miss(self, addr: int) -> List[int]:
+        """Record a demand miss; return byte addresses to prefetch."""
+        line = addr // self.line_size
+        prefetches: List[int] = []
+        if self.max_streams <= 0:
+            return prefetches
+        matched = None
+        for sid, (last, direction, confidence) in self._streams.items():
+            if line == last + direction:
+                matched = (sid, line, direction, min(confidence + 1, 4))
+                break
+        if matched:
+            sid, line, direction, confidence = matched
+            self._streams[sid] = (line, direction, confidence)
+            self._streams.move_to_end(sid)
+            if confidence >= 2:
+                for ahead in range(1, self.degree + 1):
+                    prefetches.append((line + direction * ahead)
+                                      * self.line_size)
+                self.issued += len(prefetches)
+            return prefetches
+        # try to pair with a previous lone miss to learn direction
+        for sid, (last, direction, confidence) in list(self._streams.items()):
+            if confidence == 0 and abs(line - last) == 1:
+                self._streams[sid] = (line, line - last, 1)
+                self._streams.move_to_end(sid)
+                return prefetches
+        # new candidate stream
+        if len(self._streams) >= self.max_streams:
+            self._streams.popitem(last=False)
+        self._streams[line] = (line, 1, 0)
+        return prefetches

@@ -1,0 +1,52 @@
+"""Data TLB with page-walk latency and page-fault signalling.
+
+Page faults matter to the commit analysis (§3.2): a memory operation is
+speculative until its address translates successfully, which happens at
+execute — early in the pipeline — rather than when the access completes.
+The workload layer injects faults via ``DynInstr.fault`` to exercise
+precise-exception handling; normal translation never faults.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class TranslationResult:
+    latency: int
+    fault: bool
+
+
+class TLB:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096,
+                 walk_latency: int = 30):
+        self.entries = entries
+        self.page_size = page_size
+        self.walk_latency = walk_latency
+        self._table: "OrderedDict[int, bool]" = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+        self.faults = 0
+
+    def translate(self, addr: int, fault: bool = False) -> TranslationResult:
+        """Translate ``addr``; ``fault`` forces a page fault (test hook)."""
+        self.accesses += 1
+        if fault:
+            self.faults += 1
+            return TranslationResult(latency=self.walk_latency, fault=True)
+        page = addr // self.page_size
+        if page in self._table:
+            self._table.move_to_end(page)
+            return TranslationResult(latency=0, fault=False)
+        self.misses += 1
+        if len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[page] = True
+        return TranslationResult(latency=self.walk_latency, fault=False)
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

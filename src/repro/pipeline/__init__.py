@@ -1,0 +1,14 @@
+"""Cycle-level out-of-order core: configs, resources, stats, the core."""
+
+from .config import (COMMITS, CONFIG_PRESETS, SCHEDULERS, CoreConfig,
+                     base_config, make_config, pro_config, ultra_config)
+from .core import DeadlockError, InflightOp, O3Core, simulate
+from .pipeview import Timeline, TimelineEntry
+from .resources import FUPool, FUType, fu_type_for
+from .stats import SimStats
+
+__all__ = ["COMMITS", "CONFIG_PRESETS", "SCHEDULERS", "CoreConfig",
+           "base_config", "make_config", "pro_config", "ultra_config",
+           "Timeline", "TimelineEntry",
+           "DeadlockError", "InflightOp", "O3Core", "simulate", "FUPool",
+           "FUType", "fu_type_for", "SimStats"]

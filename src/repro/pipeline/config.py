@@ -1,0 +1,168 @@
+"""Core configurations (paper Table 1) and policy selection.
+
+Three sizing presets model Skylake-class ("Base"), widened ("Pro") and
+ultra-wide ("Ultra") cores.  ``scheduler`` selects the Figure 14 issue
+policies, ``commit`` the Figure 15 commit policies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa import OpClass
+from ..memory import HierarchyConfig
+
+#: Figure 14 scheduler policies.
+SCHEDULERS = ("rand", "age", "mult", "orinoco", "cri", "ideal", "shift")
+
+#: Figure 15 commit policies.
+COMMITS = ("ioc", "orinoco", "vb", "vb_noecl", "br", "br_noecl",
+           "spec", "spec_norob", "ecl", "rob")
+
+#: Commit policies that reclaim ROB entries out of order.
+OOO_ROB_COMMITS = frozenset({"orinoco", "br", "br_noecl", "spec", "rob"})
+
+#: Commit policies that require counter-based register reclamation.
+OOO_COMMITS = frozenset(COMMITS) - {"ioc"}
+
+
+@dataclass
+class CoreConfig:
+    """One simulated core configuration."""
+
+    name: str = "base"
+    # widths
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 4          # IW
+    commit_width: int = 4         # CW
+    # structure sizes (Table 1)
+    rob_size: int = 224
+    iq_size: int = 97
+    lq_size: int = 72
+    sq_size: int = 56
+    rf_size: int = 180
+    store_buffer_size: int = 36
+    ldt_size: int = 16
+    # functional units (sums to the Table 1 FU count)
+    fu_alu: int = 3
+    fu_muldiv: int = 1
+    fu_fpu: int = 2
+    fu_load: int = 1
+    fu_store: int = 1
+    # front end
+    frontend_depth: int = 5
+    redirect_penalty: int = 10
+    predictor: str = "tage"
+    # policies
+    scheduler: str = "age"
+    commit: str = "ioc"
+    #: IQ entry organization: "rand" (free list, the non-collapsible
+    #: default) or "circ" (circular — Figure 1(b)'s capacity loss)
+    iq_org: str = "rand"
+    #: how far (in age order) commit may scan for eligible instructions;
+    #: None = the unlimited commit window of Orinoco (§6.2)
+    commit_depth: int = None
+    #: honour DynInstr.critical tags at dispatch (CRI configurations);
+    #: implied by scheduler == "cri"
+    criticality: bool = False
+    mem_dep_policy: str = "speculate"   # or "conservative"
+    #: model wrong-path fetch/issue contention behind mispredicted
+    #: branches (DESIGN.md: the substitution for execution-driven fetch)
+    model_wrong_path: bool = True
+    tso: bool = False
+    # execution latencies per op class
+    latencies: Dict[OpClass, int] = field(default_factory=lambda: {
+        OpClass.INT_ALU: 1,
+        OpClass.INT_MUL: 3,
+        OpClass.INT_DIV: 12,
+        OpClass.FP_ADD: 3,
+        OpClass.FP_MUL: 4,
+        OpClass.FP_DIV: 12,
+        OpClass.BRANCH: 1,
+        OpClass.JUMP: 1,
+        OpClass.SYS: 1,
+    })
+    forward_latency: int = 1
+    memory: HierarchyConfig = field(default_factory=HierarchyConfig)
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; "
+                             f"choose from {SCHEDULERS}")
+        if self.commit not in COMMITS:
+            raise ValueError(f"unknown commit policy {self.commit!r}; "
+                             f"choose from {COMMITS}")
+        if self.mem_dep_policy not in ("speculate", "conservative"):
+            raise ValueError(
+                f"unknown mem_dep_policy {self.mem_dep_policy!r}")
+        if self.iq_org not in ("rand", "circ"):
+            raise ValueError(f"unknown iq_org {self.iq_org!r}")
+        if self.scheduler == "cri":
+            self.criticality = True
+
+    @property
+    def fu_total(self) -> int:
+        return (self.fu_alu + self.fu_muldiv + self.fu_fpu + self.fu_load
+                + self.fu_store)
+
+    @property
+    def rename_scheme(self) -> str:
+        """Counter-based RST reclamation whenever commit is out of order."""
+        return "counter" if self.commit in OOO_COMMITS else "inorder"
+
+    @property
+    def ooo_rob_release(self) -> bool:
+        return self.commit in OOO_ROB_COMMITS
+
+    def with_policies(self, scheduler: str = None, commit: str = None,
+                      **overrides) -> "CoreConfig":
+        """Clone with different scheduling/commit policies."""
+        changes = dict(overrides)
+        if scheduler is not None:
+            changes["scheduler"] = scheduler
+        if commit is not None:
+            changes["commit"] = commit
+        return dataclasses.replace(self, **changes)
+
+
+def base_config(**overrides) -> CoreConfig:
+    """Table 1 "Base": Skylake-class, IW/CW 4/4, ROB 224, IQ 97."""
+    return dataclasses.replace(CoreConfig(name="base"), **overrides)
+
+
+def pro_config(**overrides) -> CoreConfig:
+    """Table 1 "Pro": IW/CW 6/6, ROB 256, IQ 160, LQ/SQ 128/72, RF 280."""
+    config = CoreConfig(
+        name="pro", fetch_width=6, dispatch_width=6, issue_width=6,
+        commit_width=6, rob_size=256, iq_size=160, lq_size=128, sq_size=72,
+        rf_size=280, fu_alu=3, fu_muldiv=1, fu_fpu=2, fu_load=1, fu_store=1)
+    return dataclasses.replace(config, **overrides)
+
+
+def ultra_config(**overrides) -> CoreConfig:
+    """Table 1 "Ultra": IW/CW 8/8, ROB 512, IQ 224, RF 380, 11 FUs."""
+    config = CoreConfig(
+        name="ultra", fetch_width=8, dispatch_width=8, issue_width=8,
+        commit_width=8, rob_size=512, iq_size=224, lq_size=128, sq_size=72,
+        rf_size=380, fu_alu=4, fu_muldiv=1, fu_fpu=3, fu_load=2, fu_store=1,
+        store_buffer_size=56)
+    return dataclasses.replace(config, **overrides)
+
+
+CONFIG_PRESETS = {
+    "base": base_config,
+    "pro": pro_config,
+    "ultra": ultra_config,
+}
+
+
+def make_config(preset: str = "base", **overrides) -> CoreConfig:
+    try:
+        factory = CONFIG_PRESETS[preset]
+    except KeyError as exc:
+        raise ValueError(f"unknown preset {preset!r}") from exc
+    return factory(**overrides)

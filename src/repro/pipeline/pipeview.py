@@ -1,0 +1,113 @@
+"""Per-instruction pipeline timeline viewer (gem5-O3-pipeview style).
+
+Attach a :class:`Timeline` to a core before running, then render an
+ASCII timeline of each instruction's journey through the pipeline —
+dispatch (``D``), issue (``I``), completion (``C``), commit (``R``).
+Out-of-order commit is immediately visible as ``R`` marks out of the
+staircase pattern.
+
+    core = O3Core(trace, config)
+    timeline = Timeline.attach(core)
+    core.run()
+    print(timeline.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class TimelineEntry:
+    seq: int
+    text: str
+    dispatched: Optional[int]
+    issued: Optional[int]
+    completed: Optional[int]
+    committed: Optional[int]
+
+
+class Timeline:
+    """Records committed instructions' stage timestamps."""
+
+    def __init__(self, max_entries: int = 10_000):
+        self.max_entries = max_entries
+        self.entries: List[TimelineEntry] = []
+        self.truncated = False
+
+    @classmethod
+    def attach(cls, core, max_entries: int = 10_000) -> "Timeline":
+        timeline = cls(max_entries)
+        core.timeline = timeline
+        return timeline
+
+    def record(self, op) -> None:
+        if len(self.entries) >= self.max_entries:
+            self.truncated = True
+            return
+        self.entries.append(TimelineEntry(
+            seq=op.seq, text=str(op.dyn.opcode.mnemonic),
+            dispatched=op.dispatched_at, issued=op.issued_at,
+            completed=op.completed_at, committed=op.committed_at))
+
+    # -- analysis -------------------------------------------------------
+
+    def out_of_order_commits(self) -> int:
+        """Instructions that committed before an older one did."""
+        count = 0
+        latest = {}
+        ordered = sorted(self.entries, key=lambda e: e.seq)
+        for i, entry in enumerate(ordered):
+            if entry.committed is None:
+                continue
+            for older in ordered[:i]:
+                if older.committed is not None \
+                        and older.committed > entry.committed:
+                    count += 1
+                    break
+        return count
+
+    def commit_latency(self, seq: int) -> Optional[int]:
+        for entry in self.entries:
+            if entry.seq == seq and entry.committed is not None \
+                    and entry.dispatched is not None:
+                return entry.committed - entry.dispatched
+        return None
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, first: int = 0, count: int = 40,
+               width: int = 72) -> str:
+        """ASCII timeline of ``count`` instructions starting at ``first``."""
+        selected = sorted(self.entries, key=lambda e: e.seq)
+        selected = [e for e in selected if e.seq >= first][:count]
+        if not selected:
+            return "(empty timeline)"
+        start = min(e.dispatched for e in selected
+                    if e.dispatched is not None)
+        end = max(e.committed for e in selected if e.committed is not None)
+        span = max(1, end - start + 1)
+        step = max(1, (span + width - 1) // width)
+
+        def column(cycle: Optional[int]) -> Optional[int]:
+            if cycle is None:
+                return None
+            return min(width - 1, (cycle - start) // step)
+
+        lines = [f"cycles {start}..{end} ({step} cycles/char)  "
+                 f"D=dispatch I=issue C=complete R=commit"]
+        for entry in selected:
+            row = [" "] * width
+            for cycle, mark in ((entry.dispatched, "D"),
+                                (entry.issued, "I"),
+                                (entry.completed, "C"),
+                                (entry.committed, "R")):
+                col = column(cycle)
+                if col is not None:
+                    row[col] = mark
+            lines.append(f"#{entry.seq:5d} {entry.text:6s} "
+                         f"|{''.join(row)}|")
+        if self.truncated:
+            lines.append(f"... truncated at {self.max_entries} entries")
+        return "\n".join(lines)

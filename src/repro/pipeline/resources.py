@@ -1,0 +1,79 @@
+"""Functional unit pools.
+
+All units are fully pipelined (accept one new operation per cycle)
+except dividers, which are occupied for the whole operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from ..isa import OpClass
+
+
+class FUType(enum.Enum):
+    ALU = "alu"
+    MULDIV = "muldiv"
+    FPU = "fpu"
+    LOAD = "load"
+    STORE = "store"
+
+
+_CLASS_TO_FU = {
+    OpClass.INT_ALU: FUType.ALU,
+    OpClass.BRANCH: FUType.ALU,
+    OpClass.JUMP: FUType.ALU,
+    OpClass.SYS: FUType.ALU,
+    OpClass.INT_MUL: FUType.MULDIV,
+    OpClass.INT_DIV: FUType.MULDIV,
+    OpClass.FP_ADD: FUType.FPU,
+    OpClass.FP_MUL: FUType.FPU,
+    OpClass.FP_DIV: FUType.FPU,
+    OpClass.LOAD: FUType.LOAD,
+    OpClass.STORE: FUType.STORE,
+}
+
+#: Op classes whose unit stays busy for the whole operation.
+_UNPIPELINED = {OpClass.INT_DIV, OpClass.FP_DIV}
+
+
+def fu_type_for(op_class: OpClass) -> FUType:
+    return _CLASS_TO_FU[op_class]
+
+
+class FUPool:
+    """Per-type unit availability within a cycle and across cycles."""
+
+    def __init__(self, counts: Dict[FUType, int]):
+        self.counts = dict(counts)
+        # busy-until cycles for unpipelined units, per type
+        self._busy_until: Dict[FUType, List[int]] = {
+            fu: [] for fu in self.counts}
+        self._issued_this_cycle: Dict[FUType, int] = {}
+        self._cycle = -1
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._issued_this_cycle = {fu: 0 for fu in self.counts}
+        for fu, busy in self._busy_until.items():
+            self._busy_until[fu] = [until for until in busy if until > cycle]
+
+    def available(self, fu: FUType) -> int:
+        """Units of this type that can accept an operation this cycle."""
+        total = self.counts.get(fu, 0)
+        blocked = len(self._busy_until[fu]) + self._issued_this_cycle[fu]
+        return max(0, total - blocked)
+
+    def acquire(self, op_class: OpClass, latency: int) -> bool:
+        """Claim a unit for an op of ``op_class``; False when none free."""
+        fu = fu_type_for(op_class)
+        if self.available(fu) <= 0:
+            return False
+        self._issued_this_cycle[fu] += 1
+        if op_class in _UNPIPELINED:
+            self._busy_until[fu].append(self._cycle + latency)
+        return True
+
+    def availability_vector(self) -> Dict[FUType, int]:
+        return {fu: self.available(fu) for fu in self.counts}

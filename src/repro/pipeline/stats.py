@@ -1,0 +1,125 @@
+"""Simulation statistics: IPC, stall attribution, commit behaviour.
+
+The counters mirror the quantities the paper reports:
+
+* dispatch stall attribution per exhausted resource (ROB / IQ / LQ / SQ
+  / REG) — the "full window stall" breakdown of §6.2;
+* commit-stall cycles, and within them the cycles where at least one
+  instruction was completed-and-safe but not at the ROB head — the 72% /
+  76% observation of §2.2;
+* branch mispredictions, memory-order violations, exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation run."""
+
+    name: str = ""
+    cycles: int = 0
+    committed: int = 0
+    dispatched: int = 0
+    issued: int = 0
+
+    # dispatch stall attribution (cycles in which dispatch was blocked
+    # with the named resource as the first missing one)
+    stall_rob: int = 0
+    stall_iq: int = 0
+    stall_lq: int = 0
+    stall_sq: int = 0
+    stall_reg: int = 0
+    #: cycles where dispatch stalled on a full window (any resource)
+    full_window_stall_cycles: int = 0
+
+    # commit behaviour
+    commit_stall_cycles: int = 0
+    #: commit-stall cycles with >=1 committable instruction not at head
+    stalled_commit_ready_cycles: int = 0
+    #: full-window-stall cycles with >=1 committable instruction not at head
+    full_window_commit_ready_cycles: int = 0
+    #: commit-stall cycles during which the ROB itself was full (sampled
+    #: on the same schedule as stalled_commit_ready_cycles)
+    rob_full_commit_stall_cycles: int = 0
+
+    # events
+    branch_mispredicts: int = 0
+    wrong_path_dispatched: int = 0
+    mem_order_violations: int = 0
+    exceptions: int = 0
+    load_replays: int = 0
+    forwarded_loads: int = 0
+    early_committed_loads: int = 0
+    zombie_commits: int = 0
+    lockdowns: int = 0
+
+    # occupancy integrals (sum over cycles; divide by cycles for average)
+    rob_occupancy_sum: int = 0
+    iq_occupancy_sum: int = 0
+    lq_occupancy_sum: int = 0
+    rf_occupancy_sum: int = 0
+    ready_excess_cycles: int = 0   # cycles with more ready instrs than IW
+
+    # matrix scheduler activity (operations; feeds the circuit power
+    # model the way the paper feeds SPICE from pipeline statistics)
+    iq_select_ops: int = 0
+    iq_writes: int = 0
+    rob_check_ops: int = 0
+    rob_check_rows: int = 0
+    rob_writes: int = 0
+    mdm_ops: int = 0
+    mdm_writes: int = 0
+    wakeup_ops: int = 0
+    wakeup_writes: int = 0
+
+    memory: Dict[str, float] = field(default_factory=dict)
+    predictor_accuracy: float = 1.0
+
+    def matrix_activity(self) -> Dict[str, float]:
+        """Per-cycle matrix scheduler activities for the power model."""
+        cycles = max(1, self.cycles)
+        return {
+            "iq_ops": self.iq_select_ops / cycles,
+            "iq_writes": self.iq_writes / cycles,
+            "rob_ops": self.rob_check_ops / cycles,
+            "rob_rows": (self.rob_check_rows / self.rob_check_ops
+                         if self.rob_check_ops else 0.0),
+            "rob_writes": self.rob_writes / cycles,
+            "mdm_ops": self.mdm_ops / cycles,
+            "mdm_writes": self.mdm_writes / cycles,
+            "wakeup_ops": self.wakeup_ops / cycles,
+            "wakeup_writes": self.wakeup_writes / cycles,
+        }
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def occupancy(self, which: str) -> float:
+        total = getattr(self, f"{which}_occupancy_sum")
+        return total / self.cycles if self.cycles else 0.0
+
+    def stall_breakdown(self) -> Dict[str, int]:
+        return {
+            "ROB": self.stall_rob,
+            "IQ": self.stall_iq,
+            "LQ": self.stall_lq,
+            "SQ": self.stall_sq,
+            "REG": self.stall_reg,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.name}: {self.committed} instrs / {self.cycles} cycles "
+            f"= IPC {self.ipc:.3f}",
+            f"  stalls: " + ", ".join(
+                f"{k}={v}" for k, v in self.stall_breakdown().items()),
+            f"  mispredicts={self.branch_mispredicts} "
+            f"violations={self.mem_order_violations} "
+            f"exceptions={self.exceptions}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Queue organizations: collapsible (SHIFT), circular (CIRC), random (RAND)."""
+
+from .base import QueueStructure
+from .circular import CircularQueue
+from .collapsible import CollapsibleQueue
+from .random_queue import RandomQueue
+
+__all__ = ["QueueStructure", "CircularQueue", "CollapsibleQueue",
+           "RandomQueue"]

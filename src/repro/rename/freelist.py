@@ -1,0 +1,38 @@
+"""Physical register free list."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class PhysRegFreeList:
+    """Pool of physical register tags."""
+
+    def __init__(self, num_regs: int):
+        if num_regs <= 0:
+            raise ValueError("register file size must be positive")
+        self.num_regs = num_regs
+        self._free: List[int] = list(range(num_regs - 1, -1, -1))
+        self._live = [False] * num_regs
+
+    def allocate(self) -> Optional[int]:
+        if not self._free:
+            return None
+        reg = self._free.pop()
+        self._live[reg] = True
+        return reg
+
+    def free(self, reg: int) -> None:
+        if not self._live[reg]:
+            raise ValueError(f"physical register {reg} not live")
+        self._live[reg] = False
+        self._free.append(reg)
+
+    def available(self) -> int:
+        return len(self._free)
+
+    def occupancy(self) -> int:
+        return self.num_regs - len(self._free)
+
+    def is_live(self, reg: int) -> bool:
+        return self._live[reg]

@@ -1,0 +1,190 @@
+"""Register renaming with two reclamation schemes.
+
+``inorder`` — the conventional scheme: when the instruction that
+*overwrites* architectural register r commits, the previous physical
+mapping of r is freed.  Safe because in-order commit guarantees every
+older reader has committed.
+
+``counter`` — the paper's counter-based scheme (§5, after Validation
+Buffer): out-of-order commit can retire the overwriter while older
+readers are still in flight, so each physical register carries a
+consumer count (incremented at rename, decremented when the consumer
+reads its operands) plus producer-completion and overwriter-committed
+flags; the register frees only when all three conditions hold.  The
+Register Status Table (RST) is exactly this per-physical-register
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import DynInstr, NUM_ARCH_REGS, NUM_INT_REGS, is_fp
+from .freelist import PhysRegFreeList
+
+
+@dataclass
+class RSTEntry:
+    """Register status for one physical register (the paper's RST)."""
+
+    consumers: int = 0
+    producer_done: bool = False
+    overwriter_committed: bool = False
+    #: still the live architectural mapping (not yet overwritten)
+    architectural: bool = True
+
+
+@dataclass
+class RenameRecord:
+    """Per-instruction rename outcome, kept for commit/squash undo."""
+
+    seq: int
+    arch_dst: Optional[int]
+    phys_dst: Optional[int]
+    prev_phys: Optional[int]
+    srcs_phys: Tuple[int, ...]
+    #: sources renamed but not yet read (cleared by operands_read)
+    reads_outstanding: bool = True
+
+
+class RenameUnit:
+    """Architectural → physical mapping plus reclamation policy.
+
+    The register file is split per class, as in the modelled Skylake
+    core: ``num_phys_regs`` *integer* physical registers and the same
+    number of floating-point ones.  Flat physical ids place the FP file
+    at ``num_phys_regs + idx``.
+    """
+
+    def __init__(self, num_phys_regs: int, scheme: str = "inorder"):
+        if scheme not in ("inorder", "counter"):
+            raise ValueError(f"unknown reclamation scheme: {scheme!r}")
+        if num_phys_regs <= NUM_INT_REGS:
+            raise ValueError(
+                f"need more than {NUM_INT_REGS} physical registers per file")
+        self.scheme = scheme
+        self.num_phys_regs = num_phys_regs
+        self.int_freelist = PhysRegFreeList(num_phys_regs)
+        self.fp_freelist = PhysRegFreeList(num_phys_regs)
+        self.rst: Dict[int, RSTEntry] = {}
+        self.rat: List[int] = []
+        for arch in range(NUM_ARCH_REGS):
+            phys = self._allocate(arch)
+            self.rat.append(phys)
+            self.rst[phys] = RSTEntry(producer_done=True)
+        self.freed = 0
+
+    def _allocate(self, arch_reg: int) -> Optional[int]:
+        if is_fp(arch_reg):
+            phys = self.fp_freelist.allocate()
+            return None if phys is None else self.num_phys_regs + phys
+        return self.int_freelist.allocate()
+
+    def _free_phys(self, phys: int) -> None:
+        if phys >= self.num_phys_regs:
+            self.fp_freelist.free(phys - self.num_phys_regs)
+        else:
+            self.int_freelist.free(phys)
+
+    # -- rename ---------------------------------------------------------
+
+    def can_rename(self, dst_reg: Optional[int]) -> bool:
+        if dst_reg is None:
+            return True
+        pool = self.fp_freelist if is_fp(dst_reg) else self.int_freelist
+        return pool.available() > 0
+
+    def rename(self, instr: DynInstr) -> RenameRecord:
+        """Map sources through the RAT and claim a destination register."""
+        srcs_phys = tuple(self.rat[src] for src in instr.srcs)
+        for phys in srcs_phys:
+            self.rst[phys].consumers += 1
+        phys_dst = None
+        prev_phys = None
+        if instr.dst is not None:
+            phys_dst = self._allocate(instr.dst)
+            if phys_dst is None:
+                for phys in srcs_phys:
+                    self.rst[phys].consumers -= 1
+                raise RuntimeError("rename called without a free register")
+            prev_phys = self.rat[instr.dst]
+            self.rst[prev_phys].architectural = False
+            self.rat[instr.dst] = phys_dst
+            self.rst[phys_dst] = RSTEntry()
+        return RenameRecord(instr.seq, instr.dst, phys_dst, prev_phys,
+                            srcs_phys)
+
+    # -- lifetime events ---------------------------------------------------
+
+    def operands_read(self, record: RenameRecord) -> None:
+        """The instruction read its sources (issue) — decrement counts."""
+        if not record.reads_outstanding:
+            raise RuntimeError(f"operands of #{record.seq} read twice")
+        record.reads_outstanding = False
+        for phys in record.srcs_phys:
+            entry = self.rst[phys]
+            entry.consumers -= 1
+            if entry.consumers < 0:
+                raise RuntimeError(f"consumer underflow on p{phys}")
+            self._maybe_free(phys)
+
+    def producer_completed(self, record: RenameRecord) -> None:
+        """The producing instruction wrote back its value."""
+        if record.phys_dst is not None:
+            self.rst[record.phys_dst].producer_done = True
+            self._maybe_free(record.phys_dst)
+
+    def writer_committed(self, record: RenameRecord) -> None:
+        """The instruction committed; reclaim per the active scheme."""
+        if record.phys_dst is None:
+            return
+        if record.prev_phys is None:
+            return
+        prev = self.rst[record.prev_phys]
+        prev.overwriter_committed = True
+        if self.scheme == "inorder":
+            # in-order commit: every older reader has committed
+            prev.consumers = 0
+            prev.producer_done = True
+        self._maybe_free(record.prev_phys)
+
+    def _maybe_free(self, phys: int) -> None:
+        entry = self.rst.get(phys)
+        if entry is None or entry.architectural:
+            return
+        if (entry.overwriter_committed and entry.producer_done
+                and entry.consumers == 0):
+            del self.rst[phys]
+            self._free_phys(phys)
+            self.freed += 1
+
+    # -- squash ----------------------------------------------------------------
+
+    def squash(self, records: List[RenameRecord]) -> None:
+        """Undo renames, youngest first (records may be any order)."""
+        for record in sorted(records, key=lambda r: r.seq, reverse=True):
+            if record.reads_outstanding:
+                for phys in record.srcs_phys:
+                    if phys in self.rst:
+                        self.rst[phys].consumers -= 1
+            if record.phys_dst is not None:
+                self.rat[record.arch_dst] = record.prev_phys
+                self.rst[record.prev_phys].architectural = True
+                self.rst[record.prev_phys].overwriter_committed = False
+                del self.rst[record.phys_dst]
+                self._free_phys(record.phys_dst)
+
+    # -- introspection ----------------------------------------------------
+
+    def available(self) -> int:
+        return self.int_freelist.available() + self.fp_freelist.available()
+
+    def occupancy(self) -> int:
+        return self.int_freelist.occupancy() + self.fp_freelist.occupancy()
+
+    def int_occupancy(self) -> int:
+        return self.int_freelist.occupancy()
+
+    def fp_occupancy(self) -> int:
+        return self.fp_freelist.occupancy()

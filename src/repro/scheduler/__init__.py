@@ -1,0 +1,9 @@
+"""Issue selection policies over the IQ age matrix."""
+
+from .policies import (AgeSelect, IdealSelect, MultSelect, OrinocoSelect,
+                       RandomSelect, SelectContext, SelectPolicy,
+                       make_select_policy)
+
+__all__ = ["AgeSelect", "IdealSelect", "MultSelect", "OrinocoSelect",
+           "RandomSelect", "SelectContext", "SelectPolicy",
+           "make_select_policy"]

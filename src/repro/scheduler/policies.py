@@ -1,0 +1,204 @@
+"""Issue selection policies (paper §2.1, §3.1, Figure 13, Figure 14).
+
+All policies answer the same question each cycle: given the set of
+ready IQ entries, the per-type functional unit availability and the
+issue width IW, which instructions issue?
+
+* ``RandomSelect`` — RAND: no age information at all.
+* ``AgeSelect`` — AGE (state of the art): the single oldest ready
+  instruction is prioritized through the age matrix; the remaining
+  issue slots are filled without regard to age.
+* ``MultSelect`` — MULT: one age matrix per instruction type; the
+  single oldest ready instruction *of each type* is prioritized,
+  the rest filled randomly.
+* ``OrinocoSelect`` — the contribution: the bit count encoding grants
+  up to IW oldest ready instructions, arbitrated per execution-unit
+  type under the partial ordering of Figure 13.
+* ``IdealSelect`` — an oracle that sorts by true age; provably
+  equivalent to ``OrinocoSelect`` (property-tested), and the selection
+  a collapsible SHIFT queue would make positionally.
+
+CRI (criticality scheduling) is not a separate selector: criticality is
+encoded at dispatch into the age matrix (critical instructions inserted
+as "older"), after which ``OrinocoSelect`` or ``AgeSelect`` run
+unchanged — exactly the paper's design.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core import AgeMatrix
+from ..pipeline.resources import FUType
+
+
+class SelectContext:
+    """What a policy may look at when selecting.
+
+    ``entries`` are the ready IQ entry indices.  ``fu_of`` maps an entry
+    to its FU type, ``age_of`` to its dispatch order (oracle — only
+    IdealSelect uses it), ``age_matrix`` is the IQ's age matrix.
+    """
+
+    def __init__(self, entries: Sequence[int], fu_of: Callable[[int], FUType],
+                 age_of: Callable[[int], int], age_matrix: AgeMatrix,
+                 fu_available: Dict[FUType, int], width: int,
+                 rng: random.Random):
+        self.entries = list(entries)
+        self.fu_of = fu_of
+        self.age_of = age_of
+        self.age_matrix = age_matrix
+        self.fu_available = dict(fu_available)
+        self.width = width
+        self.rng = rng
+
+    def request_mask(self, entries: Sequence[int]) -> np.ndarray:
+        mask = np.zeros(self.age_matrix.size, dtype=bool)
+        for entry in entries:
+            mask[entry] = True
+        return mask
+
+
+class SelectPolicy(abc.ABC):
+    """One issue-selection strategy."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: SelectContext) -> List[int]:
+        """Return the granted IQ entries (<= width, FU-feasible)."""
+
+    def _fill_greedy(self, ctx: SelectContext, granted: List[int],
+                     candidates: Sequence[int]) -> List[int]:
+        """Grant candidates in the given order subject to constraints."""
+        avail = dict(ctx.fu_available)
+        for entry in granted:
+            avail[ctx.fu_of(entry)] -= 1
+        for entry in candidates:
+            if len(granted) >= ctx.width:
+                break
+            if entry in granted:
+                continue
+            fu = ctx.fu_of(entry)
+            if avail.get(fu, 0) > 0:
+                granted.append(entry)
+                avail[fu] -= 1
+        return granted
+
+
+class RandomSelect(SelectPolicy):
+    """RAND: fill issue slots in arbitrary (shuffled) order."""
+
+    name = "rand"
+
+    def select(self, ctx: SelectContext) -> List[int]:
+        candidates = list(ctx.entries)
+        ctx.rng.shuffle(candidates)
+        return self._fill_greedy(ctx, [], candidates)
+
+
+class AgeSelect(SelectPolicy):
+    """AGE: single oldest prioritized, remainder age-blind."""
+
+    name = "age"
+
+    def select(self, ctx: SelectContext) -> List[int]:
+        granted: List[int] = []
+        request = ctx.request_mask(ctx.entries)
+        oldest = ctx.age_matrix.select_single_oldest(request)
+        indices = np.flatnonzero(oldest)
+        if len(indices):
+            entry = int(indices[0])
+            if ctx.fu_available.get(ctx.fu_of(entry), 0) > 0:
+                granted.append(entry)
+        rest = [e for e in ctx.entries if e not in granted]
+        ctx.rng.shuffle(rest)
+        return self._fill_greedy(ctx, granted, rest)
+
+
+class MultSelect(SelectPolicy):
+    """MULT: single oldest of each instruction type prioritized."""
+
+    name = "mult"
+
+    def select(self, ctx: SelectContext) -> List[int]:
+        granted: List[int] = []
+        avail = dict(ctx.fu_available)
+        by_type: Dict[FUType, List[int]] = {}
+        for entry in ctx.entries:
+            by_type.setdefault(ctx.fu_of(entry), []).append(entry)
+        for fu, members in sorted(by_type.items(), key=lambda kv: kv[0].value):
+            if avail.get(fu, 0) <= 0 or len(granted) >= ctx.width:
+                continue
+            request = ctx.request_mask(members)
+            oldest = ctx.age_matrix.select_single_oldest(request)
+            indices = np.flatnonzero(oldest)
+            if len(indices):
+                entry = int(indices[0])
+                granted.append(entry)
+                avail[fu] -= 1
+        rest = [e for e in ctx.entries if e not in granted]
+        ctx.rng.shuffle(rest)
+        return self._fill_greedy(ctx, granted, rest)
+
+
+class OrinocoSelect(SelectPolicy):
+    """Orinoco: up to IW oldest ready instructions via bit count encoding.
+
+    Per-type arbitration under the partial ordering (Figure 13): each
+    execution-unit type selects its oldest ready instructions up to its
+    unit count; a final bit-count pass clips the union to the IW oldest
+    overall.
+    """
+
+    name = "orinoco"
+
+    def select(self, ctx: SelectContext) -> List[int]:
+        union: List[int] = []
+        by_type: Dict[FUType, List[int]] = {}
+        for entry in ctx.entries:
+            by_type.setdefault(ctx.fu_of(entry), []).append(entry)
+        for fu, members in by_type.items():
+            cap = min(ctx.fu_available.get(fu, 0), ctx.width)
+            if cap <= 0:
+                continue
+            request = ctx.request_mask(members)
+            grants = ctx.age_matrix.select_oldest(request, cap)
+            union.extend(int(i) for i in np.flatnonzero(grants))
+        if len(union) <= ctx.width:
+            return union
+        request = ctx.request_mask(union)
+        grants = ctx.age_matrix.select_oldest(request, ctx.width)
+        return [int(i) for i in np.flatnonzero(grants)]
+
+
+class IdealSelect(SelectPolicy):
+    """Oracle: grant strictly oldest-first (what SHIFT sees positionally)."""
+
+    name = "ideal"
+
+    def select(self, ctx: SelectContext) -> List[int]:
+        ordered = sorted(ctx.entries, key=ctx.age_of)
+        return self._fill_greedy(ctx, [], ordered)
+
+
+_POLICIES = {
+    "rand": RandomSelect,
+    "age": AgeSelect,
+    "mult": MultSelect,
+    "orinoco": OrinocoSelect,
+    "cri": OrinocoSelect,     # criticality is encoded at dispatch
+    "ideal": IdealSelect,
+    "shift": IdealSelect,     # a collapsible queue selects positionally
+}
+
+
+def make_select_policy(name: str) -> SelectPolicy:
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError as exc:
+        raise ValueError(f"unknown select policy {name!r}") from exc

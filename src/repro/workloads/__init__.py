@@ -1,0 +1,9 @@
+"""SPEC-surrogate workload kernels and the benchmark suite."""
+
+from . import kernels
+from .suite import (SUITE, build_program, build_suite, build_trace,
+                    kernel_names)
+from .synthetic import SyntheticSpec
+
+__all__ = ["SUITE", "build_program", "build_suite", "build_trace",
+           "kernel_names", "kernels", "SyntheticSpec"]

@@ -1,0 +1,556 @@
+"""Synthetic SPEC CPU2017 surrogate kernels.
+
+We cannot ship SPEC binaries (see DESIGN.md), so each kernel reproduces
+the microarchitectural behaviour class of a SPEC application that the
+paper's effects depend on: serial DRAM-missing dependence chains (mcf),
+streaming FP (lbm), stencils (cactuBSSN), low-ILP reductions (nab),
+mispredict-heavy control (perlbench), high-MLP irregular probes
+(xalancbmk/omnetpp), mixed integer code (gcc), register-blocked FP
+compute (blender), pointer updates with store-to-load traffic
+(deepsjeng) and long-latency integer division (exchange2).
+
+All kernels are deterministic: pseudo-random data comes from a seeded
+LCG evaluated at build time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import Program, ProgramBuilder
+
+#: base addresses keep kernel footprints disjoint
+_HEAP = 0x10_0000
+
+
+def _lcg(seed: int):
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        yield state >> 12      # drop the periodic low bits
+
+
+def pointer_chase(nodes: int = 16384, steps: int = 600,
+                  seed: int = 7) -> Program:
+    """mcf-like: serial pointer chase across a >1 MB footprint.
+
+    Each step loads the next pointer from a 64-byte-spread node — a
+    dependent chain of cache misses that parks at the ROB head and
+    triggers full-window stalls under in-order commit.  A little
+    independent ALU work per step gives out-of-order commit something
+    to retire early.
+    """
+    rng = _lcg(seed)
+    order = list(range(1, nodes))
+    # Fisher-Yates with the LCG for a deterministic random cycle
+    for i in range(len(order) - 1, 0, -1):
+        j = next(rng) % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    cycle = [0] + order
+    builder = ProgramBuilder("pointer_chase")
+    node_addr = lambda idx: _HEAP + idx * 64
+    for position, idx in enumerate(cycle):
+        succ = cycle[(position + 1) % len(cycle)]
+        builder.data_word(node_addr(idx), node_addr(succ))
+        builder.data_word(node_addr(idx) + 8, idx)
+    builder.li("x1", node_addr(cycle[0]))
+    builder.li("x2", 0)            # step counter
+    builder.li("x3", steps)
+    builder.li("x5", 0)            # checksum
+    builder.label("chase")
+    builder.ld("x4", "x1", 8)      # payload
+    builder.add("x5", "x5", "x4")  # independent-ish accumulation
+    builder.xor("x6", "x4", "x2")
+    builder.slli("x7", "x6", 1)
+    builder.add("x8", "x7", "x5")
+    builder.ld("x1", "x1", 0)      # the chain: next pointer
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "chase")
+    builder.halt()
+    return builder.build()
+
+
+def stream_triad(n: int = 700, seed: int = 11) -> Program:
+    """lbm-like: FP triad a[i] = b[i] + s*c[i] over streaming arrays."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("stream_triad")
+    b_base, c_base, a_base = _HEAP, _HEAP + 0x80_0000, _HEAP + 0x100_0000
+    for i in range(n):
+        builder.data_word(b_base + 8 * i, (next(rng) % 1000) / 10.0)
+        builder.data_word(c_base + 8 * i, (next(rng) % 1000) / 10.0)
+    builder.data_word(0x100, 3.5)      # the scalar s
+    builder.fld("f1", "x0", 0x100)
+    builder.li("x1", b_base).li("x2", c_base).li("x3", a_base)
+    builder.li("x4", 0).li("x5", n)
+    builder.label("triad")
+    builder.fld("f2", "x1", 0)
+    builder.fld("f3", "x2", 0)
+    builder.fmul("f4", "f3", "f1")
+    builder.fadd("f5", "f2", "f4")
+    builder.fsd("f5", "x3", 0)
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 8)
+    builder.addi("x3", "x3", 8)
+    builder.addi("x4", "x4", 1)
+    builder.blt("x4", "x5", "triad")
+    builder.halt()
+    return builder.build()
+
+
+def stencil(n: int = 600, seed: int = 13) -> Program:
+    """cactuBSSN-like: 3-point stencil with neighbouring reuse."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("stencil")
+    src, dst = _HEAP, _HEAP + 0x40_0000
+    for i in range(n + 2):
+        builder.data_word(src + 8 * i, (next(rng) % 100) / 4.0)
+    builder.li("x1", src).li("x2", dst)
+    builder.li("x3", 0).li("x4", n)
+    builder.label("loop")
+    builder.fld("f1", "x1", 0)
+    builder.fld("f2", "x1", 8)
+    builder.fld("f3", "x1", 16)
+    builder.fadd("f4", "f1", "f2")
+    builder.fadd("f5", "f4", "f3")
+    builder.fmul("f6", "f5", "f5")
+    builder.fsd("f6", "x2", 0)
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 8)
+    builder.addi("x3", "x3", 1)
+    builder.blt("x3", "x4", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def fp_reduction(n: int = 900, seed: int = 17) -> Program:
+    """nab-like: serial FP accumulation — the dependence chain limits
+    ILP, so the few independent instructions are precious to schedule."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("fp_reduction")
+    base = _HEAP
+    for i in range(n):
+        builder.data_word(base + 8 * i, (next(rng) % 64) / 8.0)
+    builder.li("x1", base).li("x2", 0).li("x3", n)
+    builder.label("loop")
+    builder.fld("f2", "x1", 0)
+    builder.fadd("f1", "f1", "f2")    # serial chain
+    builder.fmul("f3", "f2", "f2")    # independent work
+    builder.fadd("f4", "f4", "f3")    # second chain
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def branchy(n: int = 800, seed: int = 23) -> Program:
+    """perlbench-like: data-dependent, poorly-predictable branches.
+
+    The branch inputs are loaded with a cache-missing line stride, so a
+    mispredicted branch resolves slowly and the machine spends long
+    windows fetching the wrong path — the regime where age-ordered
+    selection protects correct-path work (§2.1).
+    """
+    rng = _lcg(seed)
+    builder = ProgramBuilder("branchy")
+    base = _HEAP
+    for i in range(n):
+        builder.data_word(base + 64 * i, next(rng) % 256)
+    builder.li("x1", base).li("x2", 0).li("x3", n)
+    builder.li("x5", 0).li("x6", 0).li("x7", 1)
+    builder.label("loop")
+    builder.ld("x4", "x1", 0)
+    builder.andi("x8", "x4", 1)
+    builder.beq("x8", "x0", "even")
+    builder.add("x5", "x5", "x4")
+    builder.xor("x6", "x6", "x4")
+    builder.j("next")
+    builder.label("even")
+    builder.sub("x5", "x5", "x4")
+    builder.slli("x9", "x4", 1)
+    builder.add("x6", "x6", "x9")
+    builder.label("next")
+    builder.andi("x10", "x4", 3)
+    builder.bne("x10", "x7", "skip")
+    builder.addi("x6", "x6", 7)
+    builder.label("skip")
+    # independent filler lanes: the correct-path work that wrong-path
+    # instructions compete with for issue slots after a mispredict
+    for lane in range(4):
+        dst = f"x{20 + lane}"
+        builder.addi(dst, "x2", lane + 1)
+        builder.slli(dst, dst, 1)
+        builder.xor(dst, dst, "x2")
+        builder.add(dst, dst, "x2")
+        builder.srli(dst, dst, 1)
+        builder.add(dst, dst, "x2")
+    builder.addi("x1", "x1", 64)
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def hash_probe(n: int = 1000, table_words: int = 1 << 18,
+               seed: int = 31) -> Program:
+    """xalancbmk/omnetpp-like: independent irregular probes over a 2 MB
+    table — high memory-level parallelism gated by window capacity.
+    Out-of-order commit's early ROB/LQ reclamation directly buys MLP."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("hash_probe")
+    keys, table = _HEAP, _HEAP + 0x100_0000
+    for i in range(n):
+        builder.data_word(keys + 8 * i, next(rng))
+    for slot in range(0, table_words, max(1, table_words // 64)):
+        builder.data_word(table + 8 * slot, slot)
+    builder.li("x1", keys).li("x2", 0).li("x3", n)
+    builder.li("x5", table).li("x6", 0)
+    builder.li("x7", 2654435761)
+    builder.li("x9", (table_words - 1) * 8)
+    builder.label("loop")
+    builder.ld("x4", "x1", 0)
+    builder.mul("x8", "x4", "x7")
+    builder.srli("x8", "x8", 9)
+    builder.and_("x8", "x8", "x9")     # byte offset into the table
+    builder.add("x10", "x5", "x8")
+    builder.ld("x11", "x10", 0)        # the probe (likely DRAM)
+    builder.add("x6", "x6", "x11")
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def gcc_mix(n: int = 700, seed: int = 37) -> Program:
+    """gcc-like: mixed integer ALU / memory / control with moderate
+    predictability and an L2-sized working set."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("gcc_mix")
+    src, dst = _HEAP, _HEAP + 0x10_0000
+    for i in range(n):
+        builder.data_word(src + 8 * i, next(rng) % 4096)
+    builder.li("x1", src).li("x2", dst)
+    builder.li("x3", 0).li("x4", n).li("x9", 100)
+    builder.label("loop")
+    builder.ld("x5", "x1", 0)
+    builder.slli("x6", "x5", 2)
+    builder.add("x6", "x6", "x5")
+    builder.srli("x7", "x6", 3)
+    builder.xor("x7", "x7", "x5")
+    builder.blt("x7", "x9", "small")
+    builder.sub("x7", "x7", "x9")
+    builder.label("small")
+    builder.sd("x7", "x2", 0)
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 8)
+    builder.addi("x3", "x3", 1)
+    builder.blt("x3", "x4", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def matmul(dim: int = 12) -> Program:
+    """blender-like register-blocked FP compute: L1-resident, so issue
+    bandwidth and selection order dominate (priority scheduling)."""
+    builder = ProgramBuilder("matmul")
+    a_base, b_base, c_base = _HEAP, _HEAP + 0x1_0000, _HEAP + 0x2_0000
+    for i in range(dim * dim):
+        builder.data_word(a_base + 8 * i, (i % 7) + 0.5)
+        builder.data_word(b_base + 8 * i, (i % 5) + 0.25)
+    builder.li("x1", 0)                 # i
+    builder.li("x9", dim)
+    builder.label("i_loop")
+    builder.li("x2", 0)                 # j
+    builder.label("j_loop")
+    builder.li("x3", 0)                 # k
+    builder.fsub("f1", "f1", "f1")      # acc = 0
+    builder.label("k_loop")
+    # A[i][k]
+    builder.mul("x4", "x1", "x9")
+    builder.add("x4", "x4", "x3")
+    builder.slli("x4", "x4", 3)
+    builder.addi("x5", "x4", 0)
+    builder.li("x6", a_base)
+    builder.add("x5", "x5", "x6")
+    builder.fld("f2", "x5", 0)
+    # B[k][j]
+    builder.mul("x4", "x3", "x9")
+    builder.add("x4", "x4", "x2")
+    builder.slli("x4", "x4", 3)
+    builder.li("x6", b_base)
+    builder.add("x4", "x4", "x6")
+    builder.fld("f3", "x4", 0)
+    builder.fmul("f4", "f2", "f3")
+    builder.fadd("f1", "f1", "f4")
+    builder.addi("x3", "x3", 1)
+    builder.blt("x3", "x9", "k_loop")
+    # C[i][j] = acc
+    builder.mul("x4", "x1", "x9")
+    builder.add("x4", "x4", "x2")
+    builder.slli("x4", "x4", 3)
+    builder.li("x6", c_base)
+    builder.add("x4", "x4", "x6")
+    builder.fsd("f1", "x4", 0)
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x9", "j_loop")
+    builder.addi("x1", "x1", 1)
+    builder.blt("x1", "x9", "i_loop")
+    builder.halt()
+    return builder.build()
+
+
+def list_update(nodes: int = 64, steps: int = 700,
+                seed: int = 41) -> Program:
+    """deepsjeng-like: pointer walk that also *stores* to each node —
+    store-to-load forwarding and disambiguation traffic."""
+    rng = _lcg(seed)
+    order = list(range(1, nodes))
+    for i in range(len(order) - 1, 0, -1):
+        j = next(rng) % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    cycle = [0] + order
+    builder = ProgramBuilder("list_update")
+    node_addr = lambda idx: _HEAP + idx * 128  # 64 KB: cache-resident walk
+    for position, idx in enumerate(cycle):
+        succ = cycle[(position + 1) % len(cycle)]
+        builder.data_word(node_addr(idx), node_addr(succ))
+        builder.data_word(node_addr(idx) + 8, idx * 3)
+    builder.li("x1", node_addr(cycle[0]))
+    builder.li("x2", 0).li("x3", steps).li("x5", 0)
+    builder.label("walk")
+    builder.ld("x4", "x1", 8)       # payload
+    builder.addi("x4", "x4", 1)
+    builder.sd("x4", "x1", 8)       # update payload
+    builder.ld("x6", "x1", 8)       # reload (forwarded from the store)
+    builder.add("x5", "x5", "x6")
+    builder.ld("x1", "x1", 0)       # next
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "walk")
+    builder.halt()
+    return builder.build()
+
+
+def div_chain(n: int = 500, seed: int = 43) -> Program:
+    """exchange2-like: long-latency integer divides at the window head
+    with plenty of younger independent work — the canonical case where
+    in-order commit needlessly holds resources."""
+    rng = _lcg(seed)
+    builder = ProgramBuilder("div_chain")
+    base = _HEAP
+    for i in range(n):
+        builder.data_word(base + 8 * i, (next(rng) % 1000) + 17)
+    builder.li("x1", base).li("x2", 0).li("x3", n)
+    builder.li("x7", 7).li("x10", 0)
+    builder.label("loop")
+    builder.ld("x4", "x1", 0)
+    builder.div("x5", "x4", "x7")       # slow, blocks the head
+    builder.rem("x6", "x4", "x7")
+    builder.add("x8", "x4", "x2")       # independent younger work
+    builder.slli("x9", "x8", 2)
+    builder.xor("x10", "x10", "x9")
+    builder.add("x11", "x10", "x8")
+    builder.srli("x12", "x11", 1)
+    builder.add("x10", "x10", "x5")
+    builder.add("x10", "x10", "x6")
+    builder.addi("x1", "x1", 8)
+    builder.addi("x2", "x2", 1)
+    builder.blt("x2", "x3", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def tree_search(nodes_log2: int = 18, queries: int = 60, depth: int = 16,
+                seed: int = 47) -> Program:
+    """omnetpp-like: binary-search descent over a 2 MB heap-layout tree.
+
+    Every step loads a key from a (usually missing) node and branches
+    directly on it — the pattern where commit is blocked by *branches*
+    awaiting slow loads.  BR/NOREBA-style commit (skip unresolved
+    branches) and ECL (commit the loads early) both pay off here.
+    """
+    rng = _lcg(seed)
+    builder = ProgramBuilder("tree_search")
+    table = _HEAP
+    nodes = 1 << nodes_log2
+    # sparse init: only sampled nodes get explicit keys; others read 0
+    for slot in range(0, nodes, max(1, nodes // 128)):
+        builder.data_word(table + 8 * slot, next(rng) % 4096)
+    builder.li("x1", 0)               # query counter
+    builder.li("x2", queries)
+    builder.li("x5", table)
+    builder.li("x9", 2048)            # search target
+    builder.li("x12", nodes - 1)
+    builder.label("query")
+    # start index derived from the query counter (pseudo-random root path)
+    builder.mul("x3", "x1", "x1")
+    builder.addi("x3", "x3", 1)
+    builder.and_("x3", "x3", "x12")
+    builder.li("x4", 0)               # depth counter
+    builder.li("x10", depth)
+    builder.label("descend")
+    builder.slli("x6", "x3", 3)
+    builder.add("x6", "x6", "x5")
+    builder.ld("x7", "x6", 0)         # node key (often DRAM)
+    builder.slli("x3", "x3", 1)
+    builder.blt("x7", "x9", "left")   # branch on the loaded key
+    builder.addi("x3", "x3", 2)       # right child
+    builder.j("step")
+    builder.label("left")
+    builder.addi("x3", "x3", 1)       # left child
+    builder.label("step")
+    builder.and_("x3", "x3", "x12")
+    builder.addi("x4", "x4", 1)
+    builder.blt("x4", "x10", "descend")
+    builder.addi("x1", "x1", 1)
+    builder.blt("x1", "x2", "query")
+    builder.halt()
+    return builder.build()
+
+
+def multi_chase(nodes: int = 16384, steps: int = 400, chains: int = 2,
+                seed: int = 53) -> Program:
+    """mcf-like: sparse serial chains plus window-limited indexed misses.
+
+    Two serial pointer chains set the latency floor; one LCG-indexed
+    DRAM load per iteration plus a block of independent ALU work make
+    memory-level parallelism *window-limited*: in-order commit holds the
+    completed ALU work (and its registers/ROB entries) hostage behind
+    the chains, capping how many future indexed misses fit in the
+    window.  Out-of-order commit reclaims them and overlaps more.
+    """
+    rng = _lcg(seed)
+    builder = ProgramBuilder("multi_chase")
+    node_addr = lambda idx: _HEAP + idx * 64
+    per_chain = nodes // chains
+    starts = []
+    for chain in range(chains):
+        lo = chain * per_chain
+        order = list(range(lo + 1, lo + per_chain))
+        for i in range(len(order) - 1, 0, -1):
+            j = next(rng) % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        cycle = [lo] + order
+        for position, idx in enumerate(cycle):
+            succ = cycle[(position + 1) % len(cycle)]
+            builder.data_word(node_addr(idx), node_addr(succ))
+            builder.data_word(node_addr(idx) + 8, idx)
+        starts.append(node_addr(cycle[0]))
+    regs = ["x20", "x21", "x22", "x23"]
+    for chain in range(chains):
+        builder.li(regs[chain], starts[chain])
+    builder.li("x1", 0).li("x2", steps).li("x5", 0)
+    builder.li("x28", 12345)              # in-register LCG state
+    builder.li("x29", 1664525)
+    builder.li("x31", _HEAP)
+    builder.li("x30", nodes - 1)
+    builder.label("chase")
+    for chain in range(chains):
+        builder.ld(regs[chain], regs[chain], 0)
+    # indexed load: address computable arbitrarily far ahead
+    builder.mul("x28", "x28", "x29")
+    builder.addi("x28", "x28", 1013904223)
+    builder.srli("x6", "x28", 14)
+    builder.and_("x6", "x6", "x30")
+    builder.slli("x6", "x6", 6)
+    builder.add("x6", "x6", "x31")
+    builder.ld("x8", "x6", 8)
+    builder.add("x5", "x5", "x8")
+    # independent ALU block (reseeded from the loop counter each
+    # iteration, so iterations do not chain through it)
+    for lane in range(4):
+        dst = f"x{10 + lane}"
+        builder.addi(dst, "x1", lane + 1)
+        builder.slli(dst, dst, 2)
+        builder.xor(dst, dst, "x1")
+        builder.add(dst, dst, "x1")
+        builder.srli(dst, dst, 1)
+        builder.add(dst, dst, "x1")
+    builder.addi("x1", "x1", 1)
+    builder.blt("x1", "x2", "chase")
+    builder.halt()
+    return builder.build()
+
+
+def mixed_chains(iters: int = 600, table: int = 4096,
+                 seed: int = 61) -> Program:
+    """leela-like: several serial dependence chains of *different*
+    execution types under frequent hard-to-predict branches.
+
+    After each mispredict the machine fetches the wrong path; issue
+    selection decides whether the chains' ready instructions beat the
+    wrong-path flood to the execution units.  AGE protects one chain,
+    MULT one per type, Orinoco all of them — reproducing the Figure 14
+    ordering.
+    """
+    rng = _lcg(seed)
+    builder = ProgramBuilder("mixed_chains")
+    table_base = _HEAP
+    for i in range(table):
+        builder.data_word(table_base + 8 * i, next(rng) % 256)
+    feed = _HEAP + 0x100_0000
+    for lane in range(4):
+        builder.data_block(feed + lane * 0x1_0000, [lane + 1.0] * 64)
+    builder.li("x1", 0).li("x2", iters).li("x3", table_base)
+    builder.li("x9", (table - 1) * 8)
+    # integer chains (4)
+    for lane in range(4):
+        builder.li(f"x{10 + lane}", lane)
+    builder.label("loop")
+    for lane in range(4):
+        acc, tmp = f"x{10 + lane}", f"x{20 + lane}"
+        builder.ld(tmp, "x0", feed + (lane % 4) * 0x1_0000)
+        builder.add(acc, acc, tmp)
+        builder.xor(acc, acc, "x1")
+        builder.add(acc, acc, tmp)
+    # multiply chain
+    builder.ld("x24", "x0", feed + 2 * 0x1_0000)
+    builder.mul("x14", "x14", "x24")
+    builder.addi("x14", "x14", 3)
+    # floating-point chains (3)
+    for lane in range(3):
+        acc, tmp = f"f{1 + lane}", f"f{10 + lane}"
+        builder.fld(tmp, "x0", feed + (lane % 4) * 0x1_0000 + 8 * lane)
+        builder.fadd(acc, acc, tmp)
+        builder.fadd(acc, acc, tmp)
+    # hard-to-predict, fast-resolving branch
+    builder.slli("x5", "x1", 3)
+    builder.and_("x5", "x5", "x9")
+    builder.add("x5", "x5", "x3")
+    builder.ld("x6", "x5", 0)
+    builder.andi("x6", "x6", 1)
+    builder.beq("x6", "x0", "skip")
+    builder.addi("x7", "x7", 1)
+    builder.label("skip")
+    builder.addi("x1", "x1", 1)
+    builder.blt("x1", "x2", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def strided_fp(n: int = 900, stride_lines: int = 7, seed: int = 67) -> Program:
+    """fotonik3d-like: strided FP gathers over a multi-megabyte grid.
+
+    Addresses are computable arbitrarily far ahead but the stride
+    defeats the stream prefetcher, so memory-level parallelism is
+    limited purely by how many future loads fit in the window — the
+    cleanest early-issue / late-perform case for out-of-order commit.
+    """
+    builder = ProgramBuilder("strided_fp")
+    grid = _HEAP
+    builder.data_block(grid, [1.25] * 8)
+    builder.li("x1", 0).li("x2", n)
+    builder.li("x4", grid)
+    builder.li("x5", stride_lines * 64)
+    builder.li("x6", (1 << 22) - 1)        # 4 MB footprint mask
+    builder.label("loop")
+    builder.mul("x7", "x1", "x5")
+    builder.and_("x7", "x7", "x6")
+    builder.add("x7", "x7", "x4")
+    builder.fld("f2", "x7", 0)
+    builder.fmul("f3", "f2", "f2")
+    builder.fadd("f1", "f1", "f3")
+    builder.addi("x1", "x1", 1)
+    builder.blt("x1", "x2", "loop")
+    builder.halt()
+    return builder.build()

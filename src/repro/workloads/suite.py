@@ -1,0 +1,77 @@
+"""The benchmark suite: kernel registry, scaling, and trace caching."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..isa import Program, Trace, trace_program
+from . import kernels
+
+
+def _scaled(factory: Callable[..., Program], **size_params):
+    def build(scale: float = 1.0) -> Program:
+        scaled = {key: max(8, int(value * scale))
+                  for key, value in size_params.items()}
+        return factory(**scaled)
+    return build
+
+
+#: kernel name -> builder taking a ``scale`` factor.  Names carry the
+#: SPEC CPU2017 application each kernel stands in for.
+SUITE: Dict[str, Callable[[float], Program]] = {
+    "mcf.chase": _scaled(kernels.pointer_chase, steps=600),
+    "lbm.stream": _scaled(kernels.stream_triad, n=700),
+    "cactu.stencil": _scaled(kernels.stencil, n=600),
+    "nab.reduce": _scaled(kernels.fp_reduction, n=900),
+    "perl.branchy": _scaled(kernels.branchy, n=800),
+    "xalanc.hash": _scaled(kernels.hash_probe, n=1000),
+    "gcc.mix": _scaled(kernels.gcc_mix, n=700),
+    "blender.matmul": _scaled(kernels.matmul, dim=12),
+    "sjeng.listupd": _scaled(kernels.list_update, steps=700),
+    "x264.divint": _scaled(kernels.div_chain, n=500),
+    "omnet.tree": _scaled(kernels.tree_search, queries=60),
+    "leela.chains": _scaled(kernels.mixed_chains, iters=600),
+    "fotonik.strided": _scaled(kernels.strided_fp, n=900),
+    "mcf.multichase": _scaled(kernels.multi_chase, steps=400),
+}
+
+_trace_cache: Dict[tuple, Trace] = {}
+
+
+def kernel_names() -> List[str]:
+    return list(SUITE)
+
+
+def build_program(name: str, scale: float = 1.0) -> Program:
+    try:
+        factory = SUITE[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown kernel {name!r}; "
+                         f"choose from {sorted(SUITE)}") from exc
+    return factory(scale)
+
+
+def build_trace(name: str, scale: float = 1.0,
+                use_cache: bool = True) -> Trace:
+    """Emulate the kernel and return its dynamic trace (cached).
+
+    Traces are shared objects; runs that mutate per-instruction tags
+    (criticality) must clear them afterwards
+    (:func:`repro.criticality.clear_tags`).
+    """
+    key = (name, scale)
+    if use_cache and key in _trace_cache:
+        return _trace_cache[key]
+    trace = trace_program(build_program(name, scale),
+                          max_instrs=10_000_000)
+    trace.name = name
+    if use_cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def build_suite(scale: float = 1.0,
+                names: Optional[List[str]] = None) -> Dict[str, Trace]:
+    """Traces for the whole suite (or a subset)."""
+    selected = names if names is not None else kernel_names()
+    return {name: build_trace(name, scale) for name in selected}

@@ -1,0 +1,126 @@
+"""Parameterized synthetic workload generator.
+
+Beyond the named SPEC-surrogate kernels, users studying a specific
+regime can dial one in directly: instruction mix, ILP (parallel
+dependence lanes), memory footprint, and branch predictability.
+
+    program = SyntheticSpec(
+        iterations=400, lanes=4, loads_per_iter=2,
+        footprint_kb=4096, branch_entropy=0.5).build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import Program, ProgramBuilder
+
+_HEAP = 0x10_0000
+
+
+def _lcg(seed: int):
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        yield state >> 12
+
+
+@dataclass
+class SyntheticSpec:
+    """Knobs for a generated loop kernel.
+
+    * ``lanes`` — independent ALU dependence chains per iteration (ILP);
+    * ``chain_length`` — serial ops per lane per iteration;
+    * ``loads_per_iter`` — pseudo-randomly indexed loads over
+      ``footprint_kb`` of memory (set the footprint larger than a cache
+      level to miss there);
+    * ``stores_per_iter`` — streaming stores;
+    * ``muls_per_iter`` / ``fp_per_iter`` — pressure on the narrow units;
+    * ``branch_entropy`` — 0.0: no data-dependent branch; 1.0: a 50/50
+      unpredictable branch every iteration (probability = entropy/2).
+    """
+
+    iterations: int = 300
+    lanes: int = 2
+    chain_length: int = 3
+    loads_per_iter: int = 1
+    stores_per_iter: int = 0
+    muls_per_iter: int = 0
+    fp_per_iter: int = 0
+    footprint_kb: int = 64
+    branch_entropy: float = 0.0
+    seed: int = 7
+    name: str = "synthetic"
+
+    def __post_init__(self):
+        if not 0.0 <= self.branch_entropy <= 1.0:
+            raise ValueError("branch_entropy must be within [0, 1]")
+        if self.lanes < 0 or self.lanes > 8:
+            raise ValueError("lanes must be within [0, 8]")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    def build(self) -> Program:
+        rng = _lcg(self.seed)
+        b = ProgramBuilder(self.name)
+        words = max(8, self.footprint_kb * 1024 // 8)
+        mask = 1
+        while mask * 2 <= words:
+            mask *= 2
+        # sparse data init (reads of uninitialized words return 0)
+        table_entries = 1024
+        if self.branch_entropy > 0:
+            scaled = int(1000 * self.branch_entropy)
+            for i in range(table_entries):
+                random_entry = (next(rng) % 1000) < scaled
+                b.data_word(0x8000 + 8 * i,
+                            next(rng) % 2 if random_entry else 0)
+        b.li("x1", 0)                     # induction variable
+        b.li("x2", self.iterations)
+        b.li("x3", _HEAP)                 # footprint base
+        b.li("x4", (mask - 1) * 8)        # footprint index mask (bytes)
+        b.li("x28", self.seed | 1)        # in-register LCG
+        b.li("x29", 1664525)
+        b.li("x26", 0x8000)               # branch table
+        b.li("x27", (table_entries - 1) * 8)
+        b.label("loop")
+        # indexed loads over the footprint
+        for load in range(self.loads_per_iter):
+            b.mul("x28", "x28", "x29")
+            b.addi("x28", "x28", 1013904223)
+            b.srli("x5", "x28", 13)
+            b.and_("x5", "x5", "x4")
+            b.add("x5", "x5", "x3")
+            b.ld(f"x{6 + load % 2}", "x5", 0)
+        # streaming stores
+        for store in range(self.stores_per_iter):
+            b.slli("x8", "x1", 3)
+            b.add("x8", "x8", "x3")
+            b.sd("x1", "x8", store * 8)
+        # independent ALU lanes (re-seeded from x1: no cross-iteration
+        # chains, so ILP is exactly `lanes` within an iteration)
+        for lane in range(self.lanes):
+            dst = f"x{10 + lane}"
+            b.addi(dst, "x1", lane + 1)
+            for _ in range(self.chain_length - 1):
+                b.xor(dst, dst, "x1")
+        # narrow-unit pressure
+        for mul in range(self.muls_per_iter):
+            reg = f"x{20 + mul % 4}"
+            b.addi(reg, "x1", mul)
+            b.mul(reg, reg, reg)
+        for fp in range(self.fp_per_iter):
+            b.fadd(f"f{1 + fp % 4}", f"f{1 + fp % 4}", "f1")
+        # data-dependent branch
+        if self.branch_entropy > 0:
+            b.slli("x9", "x1", 3)
+            b.and_("x9", "x9", "x27")
+            b.add("x9", "x9", "x26")
+            b.ld("x9", "x9", 0)
+            b.beq("x9", "x0", "skip")
+            b.addi("x25", "x25", 1)
+            b.label("skip")
+        b.addi("x1", "x1", 1)
+        b.blt("x1", "x2", "loop")
+        b.halt()
+        return b.build()

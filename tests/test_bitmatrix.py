@@ -1,0 +1,130 @@
+"""BitMatrix primitive operations (the PIM array model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitMatrix
+
+
+class TestConstruction:
+    def test_square_default(self):
+        m = BitMatrix(8)
+        assert m.rows == m.cols == 8
+        assert not m.any_set()
+
+    def test_rectangular(self):
+        m = BitMatrix(4, 6)
+        assert m.rows == 4 and m.cols == 6
+
+    @pytest.mark.parametrize("rows,cols", [(0, 4), (4, 0), (-1, 2)])
+    def test_bad_dims(self, rows, cols):
+        with pytest.raises(ValueError):
+            BitMatrix(rows, cols)
+
+
+class TestRowColumnWrites:
+    def test_set_row_all_ones(self):
+        m = BitMatrix(4)
+        m.set_row(1)
+        assert m.row(1).all()
+        assert not m.row(0).any()
+
+    def test_set_row_mask(self):
+        m = BitMatrix(4)
+        mask = np.array([True, False, True, False])
+        m.set_row(2, mask)
+        assert (m.row(2) == mask).all()
+
+    def test_clear_column(self):
+        m = BitMatrix(4)
+        for r in range(4):
+            m.set_row(r)
+        m.clear_column(2)
+        assert not m.column(2).any()
+        assert m.column(1).all()
+
+    def test_clear_columns_multiple(self):
+        m = BitMatrix(4)
+        for r in range(4):
+            m.set_row(r)
+        m.clear_columns([0, 3])
+        assert not m.column(0).any()
+        assert not m.column(3).any()
+        assert m.column(1).all()
+
+    def test_set_bit_and_get_bit(self):
+        m = BitMatrix(3)
+        m.set_bit(1, 2)
+        assert m.get_bit(1, 2)
+        m.set_bit(1, 2, False)
+        assert not m.get_bit(1, 2)
+
+
+class TestPIMOps:
+    def test_and_reduce_nor(self):
+        m = BitMatrix(3)
+        m.set_bit(0, 1)           # row 0 depends on col 1
+        vec = np.array([False, True, False])
+        result = m.and_reduce_nor(vec)
+        assert list(result) == [False, True, True]
+
+    def test_and_popcount(self):
+        m = BitMatrix(3)
+        m.set_row(0)              # all three
+        m.set_bit(1, 0)
+        vec = np.ones(3, dtype=bool)
+        counts = m.and_popcount(vec)
+        assert list(counts) == [3, 1, 0]
+
+    def test_and_popcount_below_threshold(self):
+        m = BitMatrix(4)
+        for r in range(4):
+            mask = np.zeros(4, dtype=bool)
+            mask[:r] = True       # row r has r older entries
+            m.set_row(r, mask)
+        vec = np.ones(4, dtype=bool)
+        grants = m.and_popcount_below(vec, 2)
+        assert list(grants) == [True, True, False, False]
+
+    def test_column_read(self):
+        m = BitMatrix(3)
+        m.set_bit(0, 2)
+        m.set_bit(2, 2)
+        assert list(m.column(2)) == [True, False, True]
+
+
+class TestEquality:
+    def test_copy_is_independent(self):
+        m = BitMatrix(3)
+        m.set_bit(0, 0)
+        clone = m.copy()
+        assert clone == m
+        clone.set_bit(1, 1)
+        assert clone != m
+
+    def test_different_shapes_not_equal(self):
+        assert BitMatrix(2) != BitMatrix(3)
+
+    def test_density(self):
+        m = BitMatrix(2)
+        m.set_bit(0, 0)
+        assert m.density() == pytest.approx(0.25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=16), st.data())
+def test_popcount_matches_manual_and(size, data):
+    """Property: and_popcount equals a per-row manual popcount of row & vec."""
+    m = BitMatrix(size)
+    for r in range(size):
+        bits = data.draw(st.lists(st.booleans(), min_size=size, max_size=size))
+        m.set_row(r, np.array(bits))
+    vec = np.array(data.draw(
+        st.lists(st.booleans(), min_size=size, max_size=size)))
+    counts = m.and_popcount(vec)
+    for r in range(size):
+        expected = int(np.count_nonzero(m.row(r) & vec))
+        assert counts[r] == expected
+        assert m.and_reduce_nor(vec)[r] == (expected == 0)

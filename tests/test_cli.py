@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gcc.mix"])
+        assert args.preset == "base" and args.commit == "ioc"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc.mix",
+                                       "--commit", "bogus"])
+
+
+class TestCommands:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf.chase" in out and "xalanc.hash" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "gcc.mix", "--scale", "0.3",
+                     "--commit", "orinoco"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "occupancy" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "224" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Age Matrix (IQ)" in out and "(paper)" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "area overhead" in capsys.readouterr().out
+
+    def test_scalability(self, capsys):
+        assert main(["scalability"]) == 0
+        assert "512x512" in capsys.readouterr().out
+
+    def test_fig14_small(self, capsys):
+        assert main(["fig14", "--scale", "0.2",
+                     "--kernels", "gcc.mix"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out and "Orinoco" in out
+
+    def test_stalls_small(self, capsys):
+        assert main(["stalls", "--scale", "0.2",
+                     "--kernels", "xalanc.hash"]) == 0
+        out = capsys.readouterr().out
+        assert "ready-but-not-head" in out
+
+
+class TestNewCommands:
+    def test_run_with_timeline(self, capsys):
+        assert main(["run", "gcc.mix", "--scale", "0.2",
+                     "--commit", "orinoco", "--timeline", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "D=dispatch" in out and "out-of-order commits" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--scale", "0.2",
+                     "--kernels", "gcc.mix"]) == 0
+        assert "Workload characterization" in capsys.readouterr().out
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["save-trace", "gcc.mix", str(path),
+                     "--scale", "0.2"]) == 0
+        assert path.exists()
+        from repro.isa import load_trace
+        assert len(load_trace(path)) > 100
+
+    def test_fig15_includes_bars(self, capsys):
+        assert main(["fig15", "--scale", "0.2",
+                     "--kernels", "x264.divint"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean speedup vs IOC" in out and "|" in out

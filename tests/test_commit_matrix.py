@@ -1,0 +1,167 @@
+"""Commit dependency matrix — explicit vs merged (SPEC vector) designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommitDependencyMatrix, MergedCommitMatrix
+
+
+def mask(size, *indices):
+    vec = np.zeros(size, dtype=bool)
+    for idx in indices:
+        vec[idx] = True
+    return vec
+
+
+class TestExplicitMatrix:
+    def test_nonspeculative_world_commits_when_complete(self):
+        cdm = CommitDependencyMatrix(4)
+        cdm.dispatch(0, speculative=False)
+        cdm.dispatch(1, speculative=False)
+        grants = cdm.can_commit(mask(4, 0, 1))
+        assert sorted(np.flatnonzero(grants)) == [0, 1]
+
+    def test_younger_blocked_by_older_speculative(self):
+        cdm = CommitDependencyMatrix(4)
+        cdm.dispatch(0, speculative=True)     # e.g. a branch
+        cdm.dispatch(1, speculative=False)
+        grants = cdm.can_commit(mask(4, 1))   # 1 completed, 0 not
+        assert not grants[1]
+        # the speculative instruction itself has no older blockers
+        grants = cdm.can_commit(mask(4, 0, 1))
+        assert grants[0]
+
+    def test_resolve_unblocks_younger(self):
+        cdm = CommitDependencyMatrix(4)
+        cdm.dispatch(0, speculative=True)
+        cdm.dispatch(1, speculative=False)
+        cdm.resolve(0)
+        grants = cdm.can_commit(mask(4, 1))
+        assert grants[1]
+
+    def test_uncompleted_never_granted(self):
+        cdm = CommitDependencyMatrix(4)
+        cdm.dispatch(0, speculative=False)
+        grants = cdm.can_commit(mask(4))      # nothing completed
+        assert not grants.any()
+
+    def test_remove_clears_entry(self):
+        cdm = CommitDependencyMatrix(4)
+        cdm.dispatch(0, speculative=True)
+        cdm.remove(0)
+        cdm.dispatch(1, speculative=False)
+        assert cdm.can_commit(mask(4, 1))[1]
+
+    def test_errors(self):
+        cdm = CommitDependencyMatrix(4)
+        with pytest.raises(ValueError):
+            cdm.resolve(0)
+        with pytest.raises(ValueError):
+            cdm.remove(0)
+        cdm.dispatch(0, speculative=False)
+        with pytest.raises(ValueError):
+            cdm.dispatch(0, speculative=False)
+
+
+class TestMergedMatrix:
+    def test_commit_past_noncompleted_older(self):
+        """The key Orinoco behaviour: a younger completed instruction
+        commits past an older *non-speculative but slow* instruction."""
+        merged = MergedCommitMatrix(8)
+        merged.dispatch(0, speculative=False)   # slow ALU op, not done
+        merged.dispatch(1, speculative=False)   # done
+        grants = merged.can_commit(mask(8, 1))
+        assert grants[1]
+
+    def test_blocked_by_older_speculative(self):
+        merged = MergedCommitMatrix(8)
+        merged.dispatch(0, speculative=True)
+        merged.dispatch(1, speculative=False)
+        assert not merged.can_commit(mask(8, 1))[1]
+        merged.resolve(0)
+        assert merged.can_commit(mask(8, 1))[1]
+
+    def test_own_spec_bit_does_not_block_self(self):
+        merged = MergedCommitMatrix(8)
+        merged.dispatch(0, speculative=True)
+        # A completed-but-still-flagged instruction: its own bit is not in
+        # its row, so it can commit once *it* is completed & resolved.
+        merged.resolve(0)
+        assert merged.can_commit(mask(8, 0))[0]
+
+    def test_select_commit_oldest_first(self):
+        merged = MergedCommitMatrix(8)
+        for entry in (3, 1, 6, 2):
+            merged.dispatch(entry, speculative=False)
+        grants = merged.select_commit(mask(8, 3, 1, 6, 2), width=2)
+        assert sorted(np.flatnonzero(grants)) == [1, 3]
+
+    def test_select_commit_empty(self):
+        merged = MergedCommitMatrix(4)
+        merged.dispatch(0, speculative=True)
+        grants = merged.select_commit(mask(4), width=2)
+        assert not grants.any()
+
+    def test_oldest_blocker_location(self):
+        merged = MergedCommitMatrix(8)
+        merged.dispatch(5, speculative=True)
+        merged.dispatch(2, speculative=False)
+        assert merged.oldest_blocker() == 5
+
+    def test_squash_set_is_younger_entries(self):
+        merged = MergedCommitMatrix(8)
+        for entry in (4, 0, 7):
+            merged.dispatch(entry, speculative=False)
+        squash = merged.squash_set(0)
+        assert sorted(np.flatnonzero(squash)) == [7]
+
+    def test_remove_frees_entry_for_reuse(self):
+        merged = MergedCommitMatrix(4)
+        merged.dispatch(0, speculative=True)
+        merged.remove(0)
+        merged.dispatch(0, speculative=False)
+        assert merged.can_commit(mask(4, 0))[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_merged_equals_explicit(data):
+    """Property (§3.2): the merged age-matrix + SPEC design grants exactly
+    the same commits as the explicit commit dependency matrix under any
+    interleaving of dispatch / resolve / remove."""
+    size = data.draw(st.integers(min_value=2, max_value=16))
+    explicit = CommitDependencyMatrix(size)
+    merged = MergedCommitMatrix(size)
+    live = set()
+    for _ in range(data.draw(st.integers(min_value=1, max_value=50))):
+        action = data.draw(st.sampled_from(["dispatch", "resolve", "remove"]))
+        if action == "dispatch":
+            free = [e for e in range(size) if e not in live]
+            if not free:
+                continue
+            entry = data.draw(st.sampled_from(free))
+            spec = data.draw(st.booleans())
+            explicit.dispatch(entry, spec)
+            merged.dispatch(entry, spec)
+            live.add(entry)
+        elif action == "resolve" and live:
+            entry = data.draw(st.sampled_from(sorted(live)))
+            explicit.resolve(entry)
+            merged.resolve(entry)
+        elif action == "remove" and live:
+            # Only remove instructions that could legally leave: committed
+            # (safe) ones. For the equivalence we allow any removal — both
+            # structures must agree regardless.
+            entry = data.draw(st.sampled_from(sorted(live)))
+            explicit.remove(entry)
+            merged.remove(entry)
+            live.discard(entry)
+
+        completed_entries = data.draw(
+            st.lists(st.sampled_from(range(size)), unique=True))
+        completed = np.zeros(size, dtype=bool)
+        completed[completed_entries] = True
+        assert (explicit.can_commit(completed)
+                == merged.can_commit(completed)).all()

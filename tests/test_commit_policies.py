@@ -1,0 +1,130 @@
+"""Commit policies, exercised through small directed pipelines."""
+
+import pytest
+
+from repro.commit import make_commit_policy
+from repro.isa import ProgramBuilder, trace_program
+from repro.pipeline import base_config, simulate
+
+
+def slow_head_trace():
+    """A long-latency divide at the head with independent younger work."""
+    b = ProgramBuilder("slow_head")
+    b.li("x1", 100).li("x2", 7)
+    for _ in range(6):
+        b.div("x3", "x1", "x2")          # serial divides: slow
+        b.mul("x3", "x3", "x2")
+        for lane in range(6):
+            dst = f"x{10 + lane}"
+            b.addi(dst, "x1", lane)
+            b.xor(dst, dst, "x1")
+    b.halt()
+    return trace_program(b.build())
+
+
+def load_then_branch_trace():
+    """Loads feeding branches: the BR-relaxation pattern."""
+    b = ProgramBuilder("ldbr")
+    b.li("x1", 0x200000).li("x2", 0)
+    for i in range(8):
+        b.ld("x3", "x1", i * 8192)       # cache-missing load
+        b.blt("x3", "x0", "never%d" % i)
+        b.label("never%d" % i)
+        for lane in range(4):
+            b.addi(f"x{10 + lane}", "x2", lane)
+    b.halt()
+    return trace_program(b.build())
+
+
+ALL_COMMITS = ("ioc", "orinoco", "vb", "vb_noecl", "br", "br_noecl",
+               "spec", "spec_norob", "ecl", "rob")
+
+
+class TestAllPoliciesComplete:
+    @pytest.mark.parametrize("commit", ALL_COMMITS)
+    def test_full_retirement(self, commit):
+        trace = slow_head_trace()
+        stats = simulate(trace, base_config(commit=commit))
+        assert stats.committed == len(trace)
+
+    @pytest.mark.parametrize("commit", ALL_COMMITS)
+    def test_memory_pattern_completes(self, commit):
+        trace = load_then_branch_trace()
+        stats = simulate(trace, base_config(commit=commit))
+        assert stats.committed == len(trace)
+
+
+class TestPolicyOrdering:
+    def test_orinoco_at_least_ioc_on_slow_head(self):
+        trace = slow_head_trace()
+        ioc = simulate(trace, base_config(commit="ioc"))
+        orinoco = simulate(trace, base_config(commit="orinoco"))
+        assert orinoco.cycles <= ioc.cycles
+
+    def test_spec_is_an_upper_bound(self):
+        trace = slow_head_trace()
+        spec = simulate(trace, base_config(commit="spec"))
+        for commit in ("ioc", "orinoco", "ecl"):
+            other = simulate(trace, base_config(commit=commit))
+            assert spec.cycles <= other.cycles * 1.02
+
+    def test_vb_commits_zombies_on_slow_head(self):
+        trace = slow_head_trace()
+        vb = simulate(trace, base_config(commit="vb"))
+        assert vb.zombie_commits > 0
+
+    def test_br_relaxes_branches_on_load_branch_pattern(self):
+        trace = load_then_branch_trace()
+        ioc = simulate(trace, base_config(commit="ioc"))
+        br = simulate(trace, base_config(commit="br"))
+        assert br.cycles <= ioc.cycles
+
+    def test_ecl_commits_loads_early(self):
+        trace = load_then_branch_trace()
+        ecl = simulate(trace, base_config(commit="ecl"))
+        assert ecl.early_committed_loads > 0
+
+
+class TestPolicyFlags:
+    def test_flag_matrix(self):
+        assert make_commit_policy("vb").allow_incomplete
+        assert make_commit_policy("vb").ecl
+        assert not make_commit_policy("vb_noecl").ecl
+        assert make_commit_policy("br").oracle_branches
+        assert make_commit_policy("spec_norob").release_at_completion
+        assert make_commit_policy("rob").defer_release_inorder
+        assert not make_commit_policy("ioc").ecl
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_commit_policy("yolo")
+
+    def test_names_round_trip(self):
+        for name in ALL_COMMITS:
+            assert make_commit_policy(name).name == name
+
+
+class TestStoreOrdering:
+    def test_stores_commit_in_program_order(self):
+        """Even with OoO commit, stores drain to the SB oldest-first."""
+        b = ProgramBuilder("stores")
+        b.li("x1", 0x1000)
+        b.li("x9", 50).li("x8", 3)
+        b.div("x2", "x9", "x8")       # slow producer for the first store
+        b.sd("x2", "x1", 0)           # store 1: waits for the divide
+        b.li("x3", 7)
+        b.sd("x3", "x1", 8)           # store 2: ready immediately
+        b.halt()
+        trace = trace_program(b.build())
+        from repro.pipeline import O3Core
+        core = O3Core(trace, base_config(commit="orinoco"))
+        drained = []
+        original = core.lsq.drain_store
+        def spy():
+            entry = original()
+            if entry:
+                drained.append(entry.seq)
+            return entry
+        core.lsq.drain_store = spy
+        core.run()
+        assert drained == sorted(drained)

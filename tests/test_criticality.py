@@ -1,0 +1,103 @@
+"""Criticality detection: CCT, IST, IBDA, tagging."""
+
+import pytest
+
+from repro.criticality import (CriticalCountTable, CriticalityTagger,
+                               InstructionSliceTable, clear_tags, ibda)
+from repro.isa import ProgramBuilder, trace_program
+
+
+class TestCCT:
+    def test_counts_accumulate(self):
+        cct = CriticalCountTable(4)
+        cct.record(10, 5)
+        cct.record(10, 3)
+        assert cct.counts[10] == 8
+
+    def test_capacity_keeps_hottest(self):
+        cct = CriticalCountTable(2)
+        cct.record(1, 10)
+        cct.record(2, 20)
+        cct.record(3, 5)        # colder than both: rejected
+        assert 3 not in cct.counts
+        cct.record(4, 30)       # evicts the smallest (1)
+        assert set(cct.counts) == {2, 4}
+
+    def test_top_ordering(self):
+        cct = CriticalCountTable(8)
+        cct.record(1, 5)
+        cct.record(2, 50)
+        cct.record(3, 20)
+        assert cct.top(2) == [2, 3]
+
+
+class TestIST:
+    def test_bounded(self):
+        ist = InstructionSliceTable(2)
+        assert ist.add(1) and ist.add(2)
+        assert not ist.add(3)          # full
+        assert 3 not in ist
+
+    def test_duplicates_free(self):
+        ist = InstructionSliceTable(2)
+        ist.add(1)
+        assert not ist.add(1)
+        assert len(ist) == 1
+
+
+def chain_trace():
+    """x3 <- x2 <- x1; a critical load consumes x3."""
+    b = ProgramBuilder("chain")
+    b.li("x1", 0x40)            # pc 0: grandparent
+    b.addi("x2", "x1", 8)       # pc 1: parent
+    b.addi("x3", "x2", 0)       # pc 2: direct producer
+    b.ld("x4", "x3", 0)         # pc 3: the critical load
+    b.halt()
+    return trace_program(b.build())
+
+
+class TestIBDA:
+    def test_backward_slice_marked(self):
+        trace = chain_trace()
+        ist = InstructionSliceTable(64)
+        ibda(trace, [3], ist, passes=3)
+        assert 3 in ist and 2 in ist
+        # deeper ancestors join on later passes through the trace
+        assert 1 in ist and 0 in ist
+
+    def test_single_pass_marks_direct_producers(self):
+        trace = chain_trace()
+        ist = InstructionSliceTable(64)
+        ibda(trace, [3], ist, passes=1)
+        assert 2 in ist
+
+
+class TestTagger:
+    def test_end_to_end_tagging(self):
+        trace = chain_trace()
+        tagger = CriticalityTagger()
+        tagger.feed_profile(pc_l1_misses={3: 100}, pc_mispredicts={})
+        tagged = tagger.tag(trace)
+        assert tagged >= 2
+        assert trace[3].critical        # the load itself
+        assert trace[2].critical        # its producer
+
+    def test_clear_tags(self):
+        trace = chain_trace()
+        tagger = CriticalityTagger()
+        tagger.feed_profile({3: 10}, {})
+        tagger.tag(trace)
+        clear_tags(trace)
+        assert not any(i.critical for i in trace)
+
+    def test_mispredicts_feed_cct_too(self):
+        b = ProgramBuilder("br")
+        b.li("x1", 1)
+        b.beq("x1", "x0", "skip")
+        b.label("skip")
+        b.halt()
+        trace = trace_program(b.build())
+        tagger = CriticalityTagger()
+        tagger.feed_profile({}, {1: 50})
+        tagger.tag(trace)
+        assert trace[1].critical

@@ -1,0 +1,148 @@
+"""Memory disambiguation matrix (LQ rows x SQ columns)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MemoryDisambiguationMatrix
+
+
+def mask(size, *indices):
+    vec = np.zeros(size, dtype=bool)
+    for idx in indices:
+        vec[idx] = True
+    return vec
+
+
+class TestLoadSide:
+    def test_load_with_no_unresolved_stores_is_nonspeculative(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.load_issue(0, mask(4))
+        assert mdm.load_is_nonspeculative(0)
+        assert mdm.nonspeculative_loads()[0]
+
+    def test_load_blocked_by_unresolved_store(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(1)
+        mdm.load_issue(0, mask(4, 1))
+        assert not mdm.load_is_nonspeculative(0)
+        assert not mdm.nonspeculative_loads()[0]
+
+    def test_load_remove_clears_row(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(1)
+        mdm.load_issue(0, mask(4, 1))
+        mdm.load_remove(0)
+        assert not mdm.load_valid[0]
+        assert not mdm.matrix.row(0).any()
+
+    def test_unresolved_mask_filtered_by_store_valid(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        # Store 2 was never allocated; its bit must not stick.
+        mdm.load_issue(0, mask(4, 2))
+        assert mdm.load_is_nonspeculative(0)
+
+
+class TestStoreSide:
+    def test_store_resolve_without_conflicts_unblocks(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(2)
+        mdm.load_issue(0, mask(4, 2))
+        mdm.load_issue(1, mask(4, 2))
+        replays = mdm.store_resolve(2, conflicting_loads=mask(4))
+        assert replays == []
+        assert mdm.load_is_nonspeculative(0)
+        assert mdm.load_is_nonspeculative(1)
+
+    def test_store_resolve_reports_conflicting_loads(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(2)
+        mdm.load_issue(0, mask(4, 2))
+        mdm.load_issue(1, mask(4, 2))
+        replays = mdm.store_resolve(2, conflicting_loads=mask(4, 1))
+        assert replays == [1]
+
+    def test_conflict_mask_ignores_nondependent_loads(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(2)
+        mdm.load_issue(0, mask(4))        # did not bypass store 2
+        replays = mdm.store_resolve(2, conflicting_loads=mask(4, 0))
+        assert replays == []
+
+    def test_store_dependents_column_read(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(3)
+        mdm.load_issue(1, mask(4, 3))
+        deps = mdm.store_dependents(3)
+        assert list(np.flatnonzero(deps)) == [1]
+
+    def test_store_remove_releases_dependents(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(0)
+        mdm.load_issue(2, mask(4, 0))
+        mdm.store_remove(0)
+        assert mdm.load_is_nonspeculative(2)
+
+    def test_double_allocate_rejected(self):
+        mdm = MemoryDisambiguationMatrix(4, 4)
+        mdm.store_allocate(0)
+        with pytest.raises(ValueError):
+            mdm.store_allocate(0)
+
+
+class TestRectangularShapes:
+    def test_lq_sq_sizes_differ(self):
+        mdm = MemoryDisambiguationMatrix(6, 3)
+        mdm.store_allocate(2)
+        mdm.load_issue(5, mask(3, 2))
+        assert not mdm.load_is_nonspeculative(5)
+        mdm.store_resolve(2, conflicting_loads=mask(6))
+        assert mdm.load_is_nonspeculative(5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_load_nonspeculative_iff_all_bypassed_stores_resolved(data):
+    """Property: a load is non-speculative exactly when every store it
+    bypassed has since resolved or been removed."""
+    lq, sq = 6, 5
+    mdm = MemoryDisambiguationMatrix(lq, sq)
+    live_stores = set()
+    bypassed = {}   # lq entry -> set of sq entries it bypassed
+    for _ in range(data.draw(st.integers(min_value=1, max_value=40))):
+        action = data.draw(st.sampled_from(
+            ["alloc_store", "issue_load", "resolve_store", "remove_store"]))
+        if action == "alloc_store":
+            free = [s for s in range(sq) if s not in live_stores]
+            if not free:
+                continue
+            entry = data.draw(st.sampled_from(free))
+            mdm.store_allocate(entry)
+            live_stores.add(entry)
+        elif action == "issue_load":
+            free = [l for l in range(lq) if not mdm.load_valid[l]]
+            if not free:
+                continue
+            entry = data.draw(st.sampled_from(free))
+            subset = data.draw(st.lists(
+                st.sampled_from(range(sq)), unique=True)) if live_stores else []
+            vec = np.zeros(sq, dtype=bool)
+            vec[subset] = True
+            mdm.load_issue(entry, vec)
+            bypassed[entry] = {s for s in subset if s in live_stores}
+        elif action == "resolve_store" and live_stores:
+            entry = data.draw(st.sampled_from(sorted(live_stores)))
+            mdm.store_resolve(entry, conflicting_loads=np.zeros(lq, dtype=bool))
+            for deps in bypassed.values():
+                deps.discard(entry)
+        elif action == "remove_store" and live_stores:
+            entry = data.draw(st.sampled_from(sorted(live_stores)))
+            mdm.store_remove(entry)
+            live_stores.discard(entry)
+            for deps in bypassed.values():
+                deps.discard(entry)
+
+        for lq_entry, deps in bypassed.items():
+            if mdm.load_valid[lq_entry]:
+                assert mdm.load_is_nonspeculative(lq_entry) == (not deps)

@@ -1,0 +1,80 @@
+"""Small edge cases across modules."""
+
+import pytest
+
+from repro.isa import (Emulator, EmulatorError, Instruction, Opcode,
+                       Program, ProgramBuilder)
+from repro.queues import RandomQueue
+
+
+class TestEmulatorErrors:
+    def test_jalr_to_invalid_target(self):
+        b = ProgramBuilder()
+        b.li("x1", 999)
+        b.jalr("x0", "x1")
+        b.halt()
+        with pytest.raises(EmulatorError, match="jalr"):
+            Emulator(b.build()).run()
+
+    def test_falls_off_the_end_halts(self):
+        program = Program(code=[Instruction(Opcode.NOP)])
+        emulator = Emulator(program)
+        trace = emulator.run()
+        assert emulator.halted and len(trace) == 1
+
+    def test_jal_to_end_of_program_halts(self):
+        b = ProgramBuilder()
+        b.jal("x0", "end")
+        b.li("x1", 1)
+        b.label("end")
+        program = b.build()
+        emulator = Emulator(program)
+        emulator.run()
+        assert emulator.halted
+        assert emulator.regs[1] == 0        # skipped
+
+    def test_step_after_halt_returns_none(self):
+        b = ProgramBuilder()
+        b.halt()
+        emulator = Emulator(b.build())
+        emulator.run()
+        assert emulator.step() is None
+
+
+class TestQueueBlockOps:
+    def test_allocate_block_partial(self):
+        q = RandomQueue(3)
+        entries = q.allocate_block(5)
+        assert len(entries) == 3
+
+    def test_allocate_block_exact(self):
+        q = RandomQueue(4)
+        assert len(q.allocate_block(2)) == 2
+        assert q.occupancy() == 2
+
+
+class TestTraceRepr:
+    def test_dyninstr_repr_variants(self):
+        from repro.isa import trace_program
+        b = ProgramBuilder()
+        b.li("x1", 0x40)
+        b.ld("x2", "x1", 0)
+        b.beq("x1", "x0", "skip")
+        b.label("skip")
+        b.halt()
+        trace = trace_program(b.build())
+        texts = [repr(i) for i in trace]
+        assert any("addr=0x40" in t for t in texts)
+        assert any("taken=False" in t for t in texts)
+
+
+class TestConfigEdges:
+    def test_bad_iq_org(self):
+        from repro.pipeline import base_config
+        with pytest.raises(ValueError, match="iq_org"):
+            base_config(iq_org="collapsible")
+
+    def test_commit_depth_zero_means_unlimited_none_only(self):
+        from repro.pipeline import base_config
+        config = base_config(commit="orinoco", commit_depth=16)
+        assert config.commit_depth == 16

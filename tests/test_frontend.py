@@ -1,0 +1,204 @@
+"""Branch predictors, BTB, RAS, and the trace-driven fetch unit."""
+
+import pytest
+
+from repro.frontend import (BimodalPredictor, BranchTargetBuffer, FetchUnit,
+                            GsharePredictor, ReturnAddressStack,
+                            SaturatingCounter, TagePredictor, make_predictor)
+from repro.isa import ProgramBuilder, trace_program
+
+
+class TestSaturatingCounter:
+    def test_saturates_high_and_low(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3 and c.taken
+        for _ in range(10):
+            c.update(False)
+        assert c.value == 0 and not c.taken
+
+    def test_hysteresis(self):
+        c = SaturatingCounter(bits=2, value=3)
+        c.update(False)
+        assert c.taken            # still predicts taken after one miss
+
+
+class TestDirectionPredictors:
+    @pytest.mark.parametrize("cls", [BimodalPredictor, GsharePredictor])
+    def test_learns_constant_direction(self, cls):
+        p = cls(entries=256)
+        for _ in range(8):
+            p.update(12, True)
+        assert p.predict(12)
+
+    def test_bimodal_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_gshare_uses_history(self):
+        p = GsharePredictor(entries=1024, history_bits=4)
+        # alternating pattern at one PC: gshare can learn it, bimodal not
+        for _ in range(64):
+            p.update(5, True)
+            p.update(5, False)
+        first = p.predict(5)
+        p.update(5, first)
+        second = p.predict(5)
+        assert isinstance(first, bool) and isinstance(second, bool)
+
+    def test_tage_learns_loop_pattern(self):
+        p = TagePredictor(num_tables=4, table_entries=128)
+        # loop taken 7 times then not taken, repeated
+        mispredicts = 0
+        for rep in range(80):
+            for i in range(8):
+                taken = i != 7
+                if p.predict(42) != taken:
+                    mispredicts += 1
+                p.update(42, taken)
+        # after warmup TAGE should track the period-8 pattern well
+        last_round_mispredicts = 0
+        for i in range(8):
+            taken = i != 7
+            if p.predict(42) != taken:
+                last_round_mispredicts += 1
+            p.update(42, taken)
+        assert last_round_mispredicts <= 1
+
+    def test_tage_geometric_history_lengths(self):
+        p = TagePredictor(num_tables=5, min_history=4, max_history=64)
+        lengths = p.history_lengths
+        assert lengths[0] == 4 and lengths[-1] == 64
+        assert all(a < b for a, b in zip(lengths, lengths[1:]))
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.lookup(100) is None
+        btb.insert(100, 200)
+        assert btb.lookup(100) == 200
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.insert(1, 10)
+        btb.insert(2, 20)
+        btb.lookup(1)            # 1 is now MRU
+        btb.insert(3, 30)        # evicts 2
+        assert btb.lookup(2) is None
+        assert btb.lookup(1) == 10
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+def _loop_trace(iters=20):
+    b = ProgramBuilder("loop")
+    b.li("x1", 0).li("x2", iters)
+    b.label("loop")
+    b.addi("x1", "x1", 1)
+    b.blt("x1", "x2", "loop")
+    b.halt()
+    return trace_program(b.build())
+
+
+class TestPredictorFacade:
+    def test_oracle_never_mispredicts(self):
+        trace = _loop_trace()
+        predictor = make_predictor("oracle")
+        for instr in trace:
+            if instr.is_branch:
+                assert not predictor.predict(instr)
+        assert predictor.accuracy() == 1.0
+
+    def test_tage_learns_the_loop(self):
+        trace = _loop_trace(iters=50)
+        predictor = make_predictor("tage")
+        mispredicts = sum(predictor.predict(i) for i in trace if i.is_branch)
+        assert mispredicts <= 5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor("nope")
+
+    def test_jalr_return_predicted_by_ras(self):
+        b = ProgramBuilder("call")
+        b.jal("x1", "fn")
+        b.halt()
+        b.label("fn")
+        b.jalr("x0", "x1")
+        trace = trace_program(b.build())
+        predictor = make_predictor("tage")
+        results = [predictor.predict(i) for i in trace if i.is_branch]
+        assert results == [False, False]   # call then correctly-popped return
+
+
+class TestFetchUnit:
+    def test_fetch_width_respected(self):
+        trace = _loop_trace()
+        fetch = FetchUnit(trace, make_predictor("oracle"), width=2)
+        group = fetch.fetch(0)
+        assert len(group) <= 2
+
+    def test_taken_branch_ends_group(self):
+        trace = _loop_trace()
+        fetch = FetchUnit(trace, make_predictor("oracle"), width=8)
+        seen = []
+        cycle = 0
+        while not fetch.exhausted() and cycle < 100:
+            group = fetch.fetch(cycle)
+            if group:
+                seen.append(group)
+            cycle += 1
+        for group in seen:
+            takens = [g.instr for g in group
+                      if g.instr.is_branch and g.instr.taken]
+            if takens:
+                assert group[-1].instr is takens[-1]
+
+    def test_mispredict_stalls_until_resolved(self):
+        trace = _loop_trace(iters=4)
+        predictor = make_predictor("btfn")   # predicts not-taken: wrong
+        fetch = FetchUnit(trace, predictor, width=4, redirect_penalty=3,
+                          model_wrong_path=False)
+        group = fetch.fetch(0)
+        branch = next(g for g in group if g.mispredicted)
+        assert fetch.fetch(1) == []          # stalled
+        fetch.branch_resolved(branch.instr.seq, cycle=5)
+        assert fetch.fetch(6) == []          # redirect penalty
+        assert fetch.fetch(8) != []
+
+    def test_wrong_path_emitted_while_stalled(self):
+        trace = _loop_trace(iters=4)
+        predictor = make_predictor("btfn")
+        fetch = FetchUnit(trace, predictor, width=4,
+                          model_wrong_path=True)
+        fetch.fetch(0)                       # hits the mispredict
+        wrong = fetch.fetch(1)
+        assert wrong and all(g.wrong_path for g in wrong)
+        assert all(g.instr.seq < 0 for g in wrong)
+
+    def test_squash_to_rewinds(self):
+        trace = _loop_trace()
+        fetch = FetchUnit(trace, make_predictor("oracle"), width=4)
+        fetch.fetch(0)
+        fetch.squash_to(0, cycle=10)
+        group = fetch.fetch(10 + fetch.redirect_penalty)
+        assert group[0].instr.seq == 1

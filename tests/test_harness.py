@@ -1,0 +1,79 @@
+"""Experiment harness: runners, speedups, reporting."""
+
+import pytest
+
+from repro.harness import (ExperimentResult, format_speedup_matrix,
+                           format_table, geomean, geomean_speedup, percent,
+                           run_config, run_config_with_criticality, speedups,
+                           table1)
+from repro.pipeline import base_config
+from repro.workloads import build_suite
+
+SMALL = ["gcc.mix", "x264.divint"]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_suite(scale=0.3, names=SMALL)
+
+
+class TestRunner:
+    def test_run_config_covers_suite(self, traces):
+        result = run_config("base", base_config(), traces)
+        assert set(result.stats) == set(SMALL)
+        assert all(s.committed > 0 for s in result.stats.values())
+
+    def test_speedups_vs_self_are_unity(self, traces):
+        result = run_config("base", base_config(), traces)
+        ratios = speedups(result, result)
+        assert all(v == pytest.approx(1.0) for v in ratios.values())
+
+    def test_geomean_speedup(self, traces):
+        a = run_config("a", base_config(), traces)
+        b = run_config("b", base_config(commit="orinoco"), traces)
+        value = geomean_speedup(b, a)
+        assert 0.5 < value < 2.0
+
+    def test_criticality_runner_clears_tags(self, traces):
+        profile = base_config()
+        result = run_config_with_criticality(
+            "cri", base_config(scheduler="cri"), traces, profile)
+        assert set(result.stats) == set(SMALL)
+        for trace in traces.values():
+            assert not any(i.critical for i in trace)
+
+
+class TestMath:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 1.0
+
+    def test_percent(self):
+        assert percent(1.148) == "+14.8%"
+        assert percent(0.59) == "-41.0%"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 22]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[1]
+
+    def test_speedup_matrix(self):
+        text = format_speedup_matrix(
+            {"w1": {"A": 1.5, "B": 0.9}}, ["A", "B"], title="X",
+            baseline="BASE")
+        assert "1.500" in text and "0.900" in text and "BASE" in text
+
+    def test_table1_contents(self):
+        text = table1()
+        assert "224" in text and "512" in text and "4/4" in text
+
+    def test_experiment_result_format(self):
+        result = ExperimentResult("Fig X", "test", baseline_label="base")
+        result.summary = {"conf": 1.1}
+        result.per_workload = {"w": {"conf": 1.1}}
+        result.results = {"base": None, "conf": None}
+        text = result.format()
+        assert "Fig X" in text and "+10.0%" in text

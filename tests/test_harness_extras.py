@@ -1,0 +1,73 @@
+"""Characterization, text plots, and the pipeline→circuit link."""
+
+import pytest
+
+from repro.harness import (characterize, format_characterization,
+                           grouped_bars, hbar_chart, measured_activities,
+                           sparkline, table2_measured)
+
+
+class TestPlots:
+    def test_hbar_positive_and_negative(self):
+        text = hbar_chart({"up": 1.2, "down": 0.9}, title="T",
+                          baseline=1.0)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        up_line = next(l for l in lines if l.startswith("up"))
+        down_line = next(l for l in lines if l.startswith("down"))
+        assert up_line.index("#") > up_line.index("|")
+        assert down_line.index("#") < down_line.index("|")
+        assert "+20.0%" in up_line and "-10.0%" in down_line
+
+    def test_hbar_empty(self):
+        assert hbar_chart({}, title="empty") == "empty"
+
+    def test_grouped(self):
+        text = grouped_bars({"base": {"a": 1.1}, "pro": {"a": 1.2}})
+        assert "[base]" in text and "[pro]" in text
+
+    def test_sparkline_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line == "".join(sorted(line))
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return characterize(scale=0.3, names=["gcc.mix", "mcf.chase"])
+
+    def test_profiles_shape(self, profiles):
+        assert {p.name for p in profiles} == {"gcc.mix", "mcf.chase"}
+        for p in profiles:
+            assert p.ipc > 0
+            assert 0 <= p.l1_miss_rate <= 1
+
+    def test_chase_is_memory_bound(self, profiles):
+        chase = next(p for p in profiles if p.name == "mcf.chase")
+        assert chase.l1_miss_rate > 0.5
+        assert chase.full_window_frac > 0.5
+
+    def test_format(self, profiles):
+        text = format_characterization(profiles)
+        assert "gcc.mix" in text and "IPC" in text
+
+
+class TestCircuitLink:
+    def test_measured_activities_keys(self):
+        activity = measured_activities(scale=0.3, names=["gcc.mix"])
+        assert {"iq_ops", "rob_ops", "mdm_ops", "wakeup_ops"} <= \
+            set(activity)
+        assert all(v >= 0 for v in activity.values())
+
+    def test_table2_measured_rows(self):
+        rows = table2_measured(scale=0.3, names=["gcc.mix"])
+        assert [r.name for r in rows] == [
+            "Age Matrix (IQ)", "Age Matrix (ROB)",
+            "Memory Disambiguation Matrix", "Wakeup Matrix"]
+        # geometry stays the Table 2 geometry; powers are positive
+        assert rows[0].size == "96 x 96"
+        assert all(r.power_w > 0 for r in rows)

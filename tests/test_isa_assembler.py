@@ -1,0 +1,128 @@
+"""Text assembler round-trips and error reporting."""
+
+import pytest
+
+from repro.isa import (AssemblerError, Emulator, Opcode, ProgramBuilder,
+                       assemble)
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        program = assemble("""
+            .name basic
+            li x1, 3
+            li x2, 4
+            add x3, x1, x2
+            halt
+        """)
+        assert program.name == "basic"
+        emulator = Emulator(program)
+        emulator.run()
+        assert emulator.regs[3] == 7
+
+    def test_labels_forward_and_backward(self):
+        program = assemble("""
+                li x1, 0
+                li x2, 3
+            loop:
+                addi x1, x1, 1
+                blt x1, x2, loop
+                jal x0, done
+                li x9, 1
+            done:
+                halt
+        """)
+        emulator = Emulator(program)
+        emulator.run()
+        assert emulator.regs[1] == 3
+        assert emulator.regs[9] == 0
+
+    def test_memory_operands(self):
+        program = assemble("""
+            .word 0x40 123
+            li x1, 0x40
+            ld x2, 0(x1)
+            sd x2, 8(x1)
+            halt
+        """)
+        emulator = Emulator(program)
+        emulator.run()
+        assert emulator.memory[0x48] == 123
+
+    def test_fp_and_word_float(self):
+        program = assemble("""
+            .word 0 1.5
+            fld f1, 0(x0)
+            fadd f2, f1, f1
+            halt
+        """)
+        emulator = Emulator(program)
+        emulator.run()
+        from repro.isa import fp_reg
+        assert emulator.regs[fp_reg(2)] == pytest.approx(3.0)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # full-line comment
+            li x1, 1   # trailing comment
+            nop        ; alt comment
+            halt
+        """)
+        assert len(program.code) == 3
+
+    def test_jalr_default_imm(self):
+        program = assemble("jalr x0, x1\nhalt\n")
+        assert program.code[0].opcode is Opcode.JALR
+        assert program.code[0].imm == 0
+
+    def test_listing_shows_labels(self):
+        program = assemble("top:\n  addi x1, x1, 1\n  jal x0, top\n")
+        listing = program.listing()
+        assert "top:" in listing
+        assert "addi" in listing
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "frobnicate x1, x2, x3",     # unknown mnemonic
+        "add x1, x2",                 # wrong arity
+        "ld x1, x2",                  # bad memory operand
+        "li x1, banana",              # bad immediate
+        ".word 0",                    # bad directive arity
+        ".unknown 1 2",               # unknown directive
+        "beq x1, x2, nowhere\nhalt",  # undefined label
+        "dup:\ndup:\n  halt",         # duplicate label
+    ])
+    def test_rejects(self, source):
+        with pytest.raises((AssemblerError, ValueError)):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nadd x1, x2\n")
+
+
+class TestBuilderParity:
+    def test_builder_and_assembler_agree(self):
+        source = """
+            li x1, 10
+            li x2, 0
+        loop:
+            addi x2, x2, 1
+            blt x2, x1, loop
+            halt
+        """
+        asm_prog = assemble(source)
+
+        builder = ProgramBuilder()
+        builder.li("x1", 10).li("x2", 0)
+        builder.label("loop")
+        builder.addi("x2", "x2", 1)
+        builder.blt("x2", "x1", "loop")
+        builder.halt()
+        built_prog = builder.build()
+
+        assert len(asm_prog.code) == len(built_prog.code)
+        for a, b in zip(asm_prog.code, built_prog.code):
+            assert (a.opcode, a.rd, a.rs1, a.rs2, a.imm, a.target) == \
+                   (b.opcode, b.rd, b.rs1, b.rs2, b.imm, b.target)

@@ -1,0 +1,196 @@
+"""Functional emulator semantics."""
+
+import pytest
+
+from repro.isa import (Emulator, EmulatorError, OpClass, Opcode,
+                       ProgramBuilder, trace_program)
+
+
+def run(build):
+    builder = ProgramBuilder("t")
+    build(builder)
+    builder.halt()
+    emulator = Emulator(builder.build())
+    trace = emulator.run()
+    return emulator, trace
+
+
+class TestIntegerALU:
+    def test_add_sub(self):
+        emu, _ = run(lambda b: (b.li("x1", 7), b.li("x2", 5),
+                                b.add("x3", "x1", "x2"),
+                                b.sub("x4", "x1", "x2")))
+        assert emu.regs[3] == 12
+        assert emu.regs[4] == 2
+
+    def test_logic_ops(self):
+        emu, _ = run(lambda b: (b.li("x1", 0b1100), b.li("x2", 0b1010),
+                                b.and_("x3", "x1", "x2"),
+                                b.or_("x4", "x1", "x2"),
+                                b.xor("x5", "x1", "x2")))
+        assert emu.regs[3] == 0b1000
+        assert emu.regs[4] == 0b1110
+        assert emu.regs[5] == 0b0110
+
+    def test_shifts(self):
+        emu, _ = run(lambda b: (b.li("x1", 3), b.slli("x2", "x1", 4),
+                                b.srli("x3", "x2", 2)))
+        assert emu.regs[2] == 48
+        assert emu.regs[3] == 12
+
+    def test_slt(self):
+        emu, _ = run(lambda b: (b.li("x1", -1), b.li("x2", 1),
+                                b.slt("x3", "x1", "x2"),
+                                b.slt("x4", "x2", "x1")))
+        assert emu.regs[3] == 1
+        assert emu.regs[4] == 0
+
+    def test_x0_is_hardwired_zero(self):
+        emu, _ = run(lambda b: (b.li("x0", 42), b.addi("x1", "x0", 1)))
+        assert emu.regs[0] == 0
+        assert emu.regs[1] == 1
+
+    def test_overflow_wraps_to_64_bits(self):
+        emu, _ = run(lambda b: (b.li("x1", (1 << 62)), b.add("x2", "x1", "x1"),
+                                b.add("x3", "x2", "x2")))
+        assert emu.regs[3] == 0
+
+
+class TestMulDiv:
+    def test_mul(self):
+        emu, _ = run(lambda b: (b.li("x1", 6), b.li("x2", 7),
+                                b.mul("x3", "x1", "x2")))
+        assert emu.regs[3] == 42
+
+    def test_div_truncates_toward_zero(self):
+        emu, _ = run(lambda b: (b.li("x1", -7), b.li("x2", 2),
+                                b.div("x3", "x1", "x2"),
+                                b.rem("x4", "x1", "x2")))
+        assert emu.regs[3] == -3
+        assert emu.regs[4] == -1
+
+    def test_div_by_zero_is_riscv_defined(self):
+        emu, _ = run(lambda b: (b.li("x1", 9), b.li("x2", 0),
+                                b.div("x3", "x1", "x2"),
+                                b.rem("x4", "x1", "x2")))
+        assert emu.regs[3] == -1
+        assert emu.regs[4] == 9
+
+
+class TestFloatingPoint:
+    def test_arith(self):
+        emu, _ = run(lambda b: (b.data_word(0, 1.5), b.data_word(8, 2.0),
+                                b.fld("f1", "x0", 0), b.fld("f2", "x0", 8),
+                                b.fadd("f3", "f1", "f2"),
+                                b.fmul("f4", "f1", "f2"),
+                                b.fdiv("f5", "f1", "f2")))
+        from repro.isa import fp_reg
+        assert emu.regs[fp_reg(3)] == pytest.approx(3.5)
+        assert emu.regs[fp_reg(4)] == pytest.approx(3.0)
+        assert emu.regs[fp_reg(5)] == pytest.approx(0.75)
+
+    def test_fdiv_by_zero_accrues_not_traps(self):
+        emu, trace = run(lambda b: (b.fdiv("f1", "f2", "f3"),
+                                    b.li("x1", 1)))
+        # Execution continued past the divide.
+        assert emu.regs[1] == 1
+
+
+class TestMemory:
+    def test_store_load_round_trip(self):
+        emu, _ = run(lambda b: (b.li("x1", 0x100), b.li("x2", 99),
+                                b.sd("x2", "x1", 8), b.ld("x3", "x1", 8)))
+        assert emu.regs[3] == 99
+        assert emu.memory[0x108] == 99
+
+    def test_addresses_align_down_to_words(self):
+        emu, trace = run(lambda b: (b.li("x1", 0x103), b.ld("x2", "x1", 0)))
+        loads = [i for i in trace if i.is_load]
+        assert loads[0].addr == 0x100
+
+    def test_negative_address_is_error(self):
+        builder = ProgramBuilder("bad")
+        builder.li("x1", -64)
+        builder.ld("x2", "x1", 0)
+        builder.halt()
+        with pytest.raises(EmulatorError):
+            Emulator(builder.build()).run()
+
+    def test_initial_data_visible(self):
+        emu, _ = run(lambda b: (b.data_block(0x40, [10, 20, 30]),
+                                b.li("x1", 0x40), b.ld("x2", "x1", 16)))
+        assert emu.regs[2] == 30
+
+
+class TestControlFlow:
+    def test_loop_trip_count(self):
+        def body(b):
+            b.li("x1", 0)
+            b.li("x2", 4)
+            b.label("loop")
+            b.addi("x1", "x1", 1)
+            b.blt("x1", "x2", "loop")
+        emu, trace = run(body)
+        assert emu.regs[1] == 4
+        branches = [i for i in trace if i.is_cond_branch]
+        assert len(branches) == 4
+        assert [i.taken for i in branches] == [True, True, True, False]
+
+    def test_branch_next_pc(self):
+        def body(b):
+            b.li("x1", 1)
+            b.beq("x1", "x0", "skip")  # not taken
+            b.li("x2", 5)
+            b.label("skip")
+        _, trace = run(body)
+        branch = next(i for i in trace if i.is_cond_branch)
+        assert not branch.taken
+        assert branch.next_pc == branch.pc + 1
+
+    def test_jal_links_and_jalr_returns(self):
+        def body(b):
+            b.jal("x1", "func")
+            b.li("x2", 1)      # executed after return
+            b.halt()
+            b.label("func")
+            b.li("x3", 7)
+            b.jalr("x0", "x1")
+        emu, _ = run(body)
+        assert emu.regs[2] == 1
+        assert emu.regs[3] == 7
+
+    def test_infinite_loop_hits_budget(self):
+        builder = ProgramBuilder("inf")
+        builder.label("spin")
+        builder.j("spin")
+        program = builder.build()
+        with pytest.raises(EmulatorError):
+            Emulator(program, max_instrs=100).run()
+
+
+class TestTrace:
+    def test_seq_is_dense_program_order(self):
+        _, trace = run(lambda b: (b.li("x1", 1), b.li("x2", 2),
+                                  b.add("x3", "x1", "x2")))
+        assert [i.seq for i in trace] == list(range(len(trace)))
+
+    def test_dst_none_for_stores_and_x0(self):
+        _, trace = run(lambda b: (b.li("x0", 3), b.li("x1", 5),
+                                  b.sd("x1", "x0", 0)))
+        li_x0 = trace[0]
+        store = next(i for i in trace if i.is_store)
+        assert li_x0.dst is None
+        assert store.dst is None
+
+    def test_class_mix_sums_to_one(self):
+        _, trace = run(lambda b: (b.li("x1", 1), b.ld("x2", "x1", 0),
+                                  b.sd("x2", "x1", 8)))
+        assert sum(trace.class_mix().values()) == pytest.approx(1.0)
+
+    def test_trace_program_convenience(self):
+        builder = ProgramBuilder("t")
+        builder.li("x1", 1)
+        builder.halt()
+        trace = trace_program(builder.build())
+        assert len(trace) == 2
+        assert trace[1].opcode is Opcode.HALT

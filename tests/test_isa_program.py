@@ -1,0 +1,76 @@
+"""Program container validation and rendering."""
+
+import pytest
+
+from repro.isa import (Instruction, Opcode, Program, ProgramBuilder,
+                       int_reg)
+
+
+class TestValidate:
+    def test_branch_without_target(self):
+        program = Program(code=[Instruction(Opcode.BEQ, rs1=1, rs2=2)])
+        with pytest.raises(ValueError, match="without target"):
+            program.validate()
+
+    def test_target_out_of_range(self):
+        program = Program(code=[Instruction(Opcode.JAL, rd=1, target=99)])
+        with pytest.raises(ValueError, match="outside program"):
+            program.validate()
+
+    def test_jalr_needs_no_static_target(self):
+        program = Program(code=[Instruction(Opcode.JALR, rd=0, rs1=1)])
+        program.validate()
+
+    def test_unaligned_data(self):
+        program = Program(code=[], data={0x101: 5})
+        with pytest.raises(ValueError, match="unaligned"):
+            program.validate()
+
+    def test_negative_data_address(self):
+        program = Program(code=[], data={-8: 5})
+        with pytest.raises(ValueError, match="negative"):
+            program.validate()
+
+
+class TestRendering:
+    def test_instruction_str_forms(self):
+        assert str(Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)) == \
+            "add x3, x1, x2"
+        assert str(Instruction(Opcode.LD, rd=3, rs1=1, imm=8)) == \
+            "ld x3, 8(x1)"
+        assert str(Instruction(Opcode.SD, rs1=1, rs2=4, imm=16)) == \
+            "sd x4, 16(x1)"
+        assert str(Instruction(Opcode.ADDI, rd=2, rs1=2, imm=-1)) == \
+            "addi x2, x2, -1"
+        assert str(Instruction(Opcode.BEQ, rs1=1, rs2=0, target=7)) == \
+            "beq x1, x0, @7"
+        assert str(Instruction(Opcode.NOP)) == "nop"
+
+    def test_listing_round(self):
+        b = ProgramBuilder("l")
+        b.label("top")
+        b.addi("x1", "x1", 1)
+        b.j("top")
+        listing = b.build().listing()
+        assert listing.splitlines()[0] == "top:"
+
+
+class TestBuilderErrors:
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_undefined_label_at_build(self):
+        b = ProgramBuilder()
+        b.beq("x1", "x2", "nowhere")
+        with pytest.raises(ValueError, match="undefined"):
+            b.build()
+
+    def test_data_block_layout(self):
+        b = ProgramBuilder()
+        b.data_block(0x100, [1, 2, 3])
+        b.halt()
+        program = b.build()
+        assert program.data == {0x100: 1, 0x108: 2, 0x110: 3}

@@ -1,0 +1,48 @@
+"""Unit tests for the flat register id space."""
+
+import pytest
+
+from repro.isa import (FP_BASE, NUM_ARCH_REGS, fp_reg, int_reg, is_fp,
+                       parse_reg, reg_name)
+
+
+class TestRegisterIds:
+    def test_int_reg_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_reg_offset(self):
+        assert fp_reg(0) == FP_BASE
+        assert fp_reg(31) == NUM_ARCH_REGS - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+    def test_is_fp(self):
+        assert not is_fp(int_reg(5))
+        assert is_fp(fp_reg(5))
+
+
+class TestParsing:
+    @pytest.mark.parametrize("name,expected", [
+        ("x0", 0), ("x31", 31), ("f0", FP_BASE), ("f31", NUM_ARCH_REGS - 1),
+        ("X7", 7), ("F2", FP_BASE + 2),
+    ])
+    def test_parse_reg(self, name, expected):
+        assert parse_reg(name) == expected
+
+    @pytest.mark.parametrize("bad", ["", "y1", "x", "xx", "x32", "f99", "7"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_round_trip(self):
+        for reg in range(NUM_ARCH_REGS):
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)

@@ -1,0 +1,59 @@
+"""TSO message-passing litmus: lockdown preserves load-load order."""
+
+import pytest
+
+from repro.lsq.litmus import (DATA, FLAG, LitmusOutcome, enumerate_outcomes,
+                              run_interleaving, tso_holds)
+
+
+class TestOutcome:
+    def test_forbidden_classification(self):
+        assert LitmusOutcome(r_flag=1, r_data=0).forbidden_under_tso
+        assert not LitmusOutcome(r_flag=1, r_data=1).forbidden_under_tso
+        assert not LitmusOutcome(r_flag=0, r_data=0).forbidden_under_tso
+        assert not LitmusOutcome(r_flag=0, r_data=1).forbidden_under_tso
+
+
+class TestInterleavings:
+    def test_in_order_reader_sees_allowed_outcome(self):
+        outcome = run_interleaving(["W", "W", "Lf", "Ld"],
+                                   use_lockdown=False)
+        assert outcome == LitmusOutcome(r_flag=1, r_data=1)
+
+    def test_early_commit_without_lockdown_breaks_tso(self):
+        """The exact reordering the paper worries about: the younger
+        data load binds 0 and commits, then both stores land, then the
+        flag load reads 1."""
+        outcome = run_interleaving(["Ld", "Cd", "W", "W", "Lf"],
+                                   use_lockdown=False)
+        assert outcome is not None
+        assert outcome.forbidden_under_tso
+
+    def test_lockdown_blocks_the_store(self):
+        """With the lockdown matrix, the writer's invalidation of the
+        bound line is withheld, so the same schedule cannot execute."""
+        outcome = run_interleaving(["Ld", "Cd", "W", "W", "Lf"],
+                                   use_lockdown=True)
+        assert outcome is None          # the store had to wait
+
+    def test_lockdown_released_after_older_load(self):
+        outcome = run_interleaving(["Ld", "Cd", "Lf", "W", "W"],
+                                    use_lockdown=True)
+        assert outcome == LitmusOutcome(r_flag=0, r_data=0)
+
+
+class TestFullEnumeration:
+    def test_without_lockdown_weak_outcome_observable(self):
+        outcomes = enumerate_outcomes(use_lockdown=False)
+        assert not tso_holds(outcomes)
+
+    def test_with_lockdown_tso_holds(self):
+        outcomes = enumerate_outcomes(use_lockdown=True)
+        assert tso_holds(outcomes)
+        assert len(outcomes) >= 3       # the allowed outcomes still occur
+
+    def test_lockdown_does_not_remove_allowed_outcomes(self):
+        allowed = {LitmusOutcome(0, 0), LitmusOutcome(1, 1),
+                   LitmusOutcome(0, 1)}
+        outcomes = enumerate_outcomes(use_lockdown=True)
+        assert allowed <= outcomes

@@ -1,0 +1,68 @@
+"""Lockdown matrix / LDT for TSO load-load ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import LockdownMatrix
+
+
+def mask(size, *indices):
+    vec = np.zeros(size, dtype=bool)
+    for idx in indices:
+        vec[idx] = True
+    return vec
+
+
+class TestLockdownLifecycle:
+    def test_lockdown_holds_until_older_loads_perform(self):
+        ldm = LockdownMatrix(ldt_size=4, lq_size=8)
+        ldm.lockdown(address=0x100, load_seq=10,
+                     older_nonperformed=mask(8, 2, 5))
+        assert ldm.is_locked(0x100)
+        assert ldm.load_performed(2) == []
+        assert ldm.is_locked(0x100)
+        released = ldm.load_performed(5)
+        assert released == [0x100]
+        assert not ldm.is_locked(0x100)
+
+    def test_multiple_lockdowns_same_address(self):
+        ldm = LockdownMatrix(4, 8)
+        ldm.lockdown(0x40, 1, mask(8, 0))
+        ldm.lockdown(0x40, 2, mask(8, 1))
+        assert ldm.load_performed(0) == []      # one lock remains
+        assert ldm.is_locked(0x40)
+        assert ldm.load_performed(1) == [0x40]
+        assert not ldm.is_locked(0x40)
+
+    def test_entries_recycled_after_release(self):
+        ldm = LockdownMatrix(ldt_size=1, lq_size=4)
+        ldm.lockdown(0x10, 1, mask(4, 0))
+        assert not ldm.has_free_entry()
+        ldm.load_performed(0)
+        assert ldm.has_free_entry()
+        ldm.lockdown(0x20, 2, mask(4, 1))
+        assert ldm.is_locked(0x20)
+
+    def test_full_table_raises(self):
+        ldm = LockdownMatrix(ldt_size=1, lq_size=4)
+        ldm.lockdown(0x10, 1, mask(4, 0))
+        with pytest.raises(RuntimeError):
+            ldm.lockdown(0x20, 2, mask(4, 1))
+
+    def test_empty_mask_rejected(self):
+        ldm = LockdownMatrix(2, 4)
+        with pytest.raises(ValueError):
+            ldm.lockdown(0x10, 1, mask(4))
+
+    def test_unrelated_address_never_locked(self):
+        ldm = LockdownMatrix(2, 4)
+        ldm.lockdown(0x10, 1, mask(4, 0))
+        assert not ldm.is_locked(0x18)
+
+    def test_active_lockdown_count(self):
+        ldm = LockdownMatrix(4, 4)
+        ldm.lockdown(0x10, 1, mask(4, 0))
+        ldm.lockdown(0x20, 2, mask(4, 0, 1))
+        assert ldm.active_lockdowns() == 2
+        ldm.load_performed(0)   # releases first, second still waits on 1
+        assert ldm.active_lockdowns() == 1

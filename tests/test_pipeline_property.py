@@ -1,0 +1,80 @@
+"""Property tests: random programs through the full pipeline.
+
+For arbitrary (small) generated programs, every commit policy must
+retire exactly the architectural instruction stream, leave no resources
+behind, and agree with the functional emulator's instruction count.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ProgramBuilder, trace_program
+from repro.pipeline import O3Core, base_config
+
+POLICIES = ["ioc", "orinoco", "vb", "br", "spec", "ecl", "rob"]
+
+
+@st.composite
+def small_programs(draw):
+    """Random straight-line-with-one-loop programs."""
+    b = ProgramBuilder("random")
+    b.li("x1", 0)
+    b.li("x2", draw(st.integers(min_value=1, max_value=5)))   # trip count
+    b.li("x3", 0x1000)
+    n_body = draw(st.integers(min_value=1, max_value=12))
+    b.label("loop")
+    for i in range(n_body):
+        kind = draw(st.sampled_from(
+            ["alu", "mul", "div", "load", "store", "fp"]))
+        dst = f"x{10 + (i % 8)}"
+        src = f"x{10 + ((i + 3) % 8)}"
+        if kind == "alu":
+            b.add(dst, src, "x1")
+        elif kind == "mul":
+            b.mul(dst, src, "x2")
+        elif kind == "div":
+            b.div(dst, src, "x2")
+        elif kind == "load":
+            offset = draw(st.integers(min_value=0, max_value=4)) * 8
+            b.ld(dst, "x3", offset)
+        elif kind == "store":
+            offset = draw(st.integers(min_value=0, max_value=4)) * 8
+            b.sd(src, "x3", offset)
+        else:
+            b.fadd(f"f{1 + (i % 4)}", f"f{1 + ((i + 1) % 4)}", "f1")
+    b.addi("x1", "x1", 1)
+    b.blt("x1", "x2", "loop")
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(program=small_programs(), policy=st.sampled_from(POLICIES))
+def test_random_program_commits_fully_and_cleanly(program, policy):
+    trace = trace_program(program)
+    core = O3Core(trace, base_config(commit=policy))
+    stats = core.run(max_cycles=200_000)
+    assert stats.committed == len(trace)
+    assert not core.window and not core.ops and not core.zombies
+    assert core.iq_queue.occupancy() == 0
+    assert core.lsq.lq_occupancy() == 0
+    assert core.lsq.sq_occupancy() == 0
+    assert core.rename.int_freelist.occupancy() == 32
+    assert core.rename.fp_freelist.occupancy() == 32
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(program=small_programs())
+def test_policies_commit_same_instruction_count(program):
+    """All policies retire the identical architectural stream."""
+    trace = trace_program(program)
+    counts = set()
+    for policy in ("ioc", "orinoco", "vb"):
+        core = O3Core(trace, base_config(commit=policy))
+        counts.add(core.run(max_cycles=200_000).committed)
+    assert len(counts) == 1

@@ -1,0 +1,65 @@
+"""Pipeline timeline viewer."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, trace_program
+from repro.pipeline import O3Core, Timeline, base_config
+
+
+def run_with_timeline(commit="orinoco", max_entries=10_000):
+    b = ProgramBuilder("t")
+    b.li("x1", 100).li("x2", 7)
+    b.div("x3", "x1", "x2")          # slow head
+    for i in range(5):
+        b.addi(f"x{10 + i}", "x1", i)
+    b.halt()
+    core = O3Core(trace_program(b.build()), base_config(commit=commit))
+    timeline = Timeline.attach(core, max_entries=max_entries)
+    core.run()
+    return timeline
+
+
+class TestTimeline:
+    def test_records_every_committed_instruction(self):
+        timeline = run_with_timeline()
+        assert len(timeline.entries) == 9
+
+    def test_stage_ordering_per_instruction(self):
+        timeline = run_with_timeline()
+        for entry in timeline.entries:
+            assert entry.dispatched <= entry.issued
+            assert entry.issued < entry.completed
+            assert entry.completed <= entry.committed
+
+    def test_ooo_commit_visible(self):
+        orinoco = run_with_timeline("orinoco")
+        ioc = run_with_timeline("ioc")
+        assert orinoco.out_of_order_commits() > 0
+        assert ioc.out_of_order_commits() == 0
+
+    def test_render_contains_marks(self):
+        timeline = run_with_timeline()
+        text = timeline.render()
+        for mark in "DICR":
+            assert mark in text
+        assert "div" in text
+
+    def test_render_empty(self):
+        assert Timeline().render() == "(empty timeline)"
+
+    def test_truncation(self):
+        timeline = run_with_timeline(max_entries=3)
+        assert timeline.truncated
+        assert len(timeline.entries) == 3
+        assert "truncated" in timeline.render()
+
+    def test_commit_latency(self):
+        timeline = run_with_timeline()
+        latency = timeline.commit_latency(2)      # the divide
+        assert latency is not None and latency > 10
+        assert timeline.commit_latency(999) is None
+
+    def test_render_window_selection(self):
+        timeline = run_with_timeline()
+        text = timeline.render(first=3, count=2)
+        assert "#    3" in text and "#    5" not in text

@@ -1,0 +1,141 @@
+"""Register renaming: RAT, split register files, RST reclamation."""
+
+import pytest
+
+from repro.isa import NUM_ARCH_REGS, DynInstr, OpClass, Opcode, fp_reg
+from repro.rename import PhysRegFreeList, RenameUnit
+
+
+def make_instr(seq, dst=None, srcs=()):
+    return DynInstr(seq=seq, pc=seq, opcode=Opcode.ADD,
+                    op_class=OpClass.INT_ALU, dst=dst, srcs=tuple(srcs),
+                    imm=0, addr=None, taken=False, next_pc=seq + 1,
+                    fault=False, critical=False)
+
+
+class TestFreeList:
+    def test_allocate_free_cycle(self):
+        fl = PhysRegFreeList(4)
+        regs = [fl.allocate() for _ in range(4)]
+        assert fl.allocate() is None
+        fl.free(regs[2])
+        assert fl.allocate() == regs[2]
+
+    def test_double_free(self):
+        fl = PhysRegFreeList(2)
+        reg = fl.allocate()
+        fl.free(reg)
+        with pytest.raises(ValueError):
+            fl.free(reg)
+
+
+class TestRenameBasics:
+    def test_initial_mappings_consume_arch_regs(self):
+        r = RenameUnit(100, "inorder")
+        assert r.int_freelist.occupancy() == 32
+        assert r.fp_freelist.occupancy() == 32
+
+    def test_sources_map_through_rat(self):
+        r = RenameUnit(100, "inorder")
+        w = r.rename(make_instr(0, dst=5))
+        c = r.rename(make_instr(1, srcs=(5,)))
+        assert c.srcs_phys == (w.phys_dst,)
+
+    def test_split_files(self):
+        r = RenameUnit(100, "inorder")
+        rec_int = r.rename(make_instr(0, dst=3))
+        rec_fp = r.rename(make_instr(1, dst=fp_reg(3)))
+        assert rec_int.phys_dst < 100
+        assert rec_fp.phys_dst >= 100
+
+    def test_can_rename_per_class(self):
+        r = RenameUnit(33, "inorder")   # 1 spare int, 1 spare fp
+        assert r.can_rename(5)
+        r.rename(make_instr(0, dst=5))
+        assert not r.can_rename(6)
+        assert r.can_rename(fp_reg(0))   # fp pool untouched
+        assert r.can_rename(None)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RenameUnit(32)
+        with pytest.raises(ValueError):
+            RenameUnit(100, "bogus")
+
+
+class TestInOrderReclamation:
+    def test_prev_mapping_freed_at_overwriter_commit(self):
+        r = RenameUnit(100, "inorder")
+        first = r.rename(make_instr(0, dst=7))
+        second = r.rename(make_instr(1, dst=7))
+        before = r.int_freelist.available()
+        r.writer_committed(second)
+        assert r.int_freelist.available() == before + 1
+
+    def test_architectural_mapping_never_freed(self):
+        r = RenameUnit(100, "inorder")
+        rec = r.rename(make_instr(0, dst=7))
+        r.writer_committed(rec)      # frees the *previous* mapping only
+        assert r.int_freelist.is_live(rec.phys_dst)
+
+
+class TestCounterReclamation:
+    def test_waits_for_consumers(self):
+        r = RenameUnit(100, "counter")
+        writer = r.rename(make_instr(0, dst=7))
+        r.producer_completed(writer)
+        reader = r.rename(make_instr(1, srcs=(7,)))
+        overwriter = r.rename(make_instr(2, dst=7))
+        before = r.int_freelist.available()
+        r.writer_committed(overwriter)   # reader hasn't read yet
+        assert r.int_freelist.available() == before
+        r.operands_read(reader)
+        assert r.int_freelist.available() == before + 1
+
+    def test_waits_for_producer_completion(self):
+        r = RenameUnit(100, "counter")
+        writer = r.rename(make_instr(0, dst=7))
+        overwriter = r.rename(make_instr(1, dst=7))
+        before = r.int_freelist.available()
+        r.writer_committed(overwriter)
+        assert r.int_freelist.available() == before   # value not produced
+        r.producer_completed(writer)
+        assert r.int_freelist.available() == before + 1
+
+    def test_double_read_rejected(self):
+        r = RenameUnit(100, "counter")
+        r.rename(make_instr(0, dst=7))
+        reader = r.rename(make_instr(1, srcs=(7,)))
+        r.operands_read(reader)
+        with pytest.raises(RuntimeError):
+            r.operands_read(reader)
+
+
+class TestSquash:
+    def test_rat_restored(self):
+        r = RenameUnit(100, "counter")
+        keep = r.rename(make_instr(0, dst=7))
+        victim1 = r.rename(make_instr(1, dst=7))
+        victim2 = r.rename(make_instr(2, dst=7))
+        r.squash([victim1, victim2])
+        assert r.rat[7] == keep.phys_dst
+
+    def test_squashed_registers_returned(self):
+        r = RenameUnit(100, "counter")
+        before = r.int_freelist.available()
+        victims = [r.rename(make_instr(i, dst=i % 5)) for i in range(5)]
+        r.squash(victims)
+        assert r.int_freelist.available() == before
+
+    def test_consumer_counts_undone(self):
+        r = RenameUnit(100, "counter")
+        writer = r.rename(make_instr(0, dst=7))
+        r.producer_completed(writer)
+        reader = r.rename(make_instr(1, srcs=(7,)))      # unread consumer
+        overwriter = r.rename(make_instr(2, dst=7))
+        r.squash([reader, overwriter])
+        rec3 = r.rename(make_instr(3, dst=7))
+        before = r.int_freelist.available()
+        r.writer_committed(rec3)
+        # writer's register frees: the squashed reader's count was undone
+        assert r.int_freelist.available() == before + 1

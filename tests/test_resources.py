@@ -1,0 +1,68 @@
+"""Functional unit pool: per-cycle issue limits, unpipelined dividers."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.pipeline import FUPool, FUType, fu_type_for
+
+
+@pytest.fixture
+def pool():
+    return FUPool({FUType.ALU: 2, FUType.MULDIV: 1, FUType.FPU: 1,
+                   FUType.LOAD: 1, FUType.STORE: 1})
+
+
+class TestMapping:
+    @pytest.mark.parametrize("cls,fu", [
+        (OpClass.INT_ALU, FUType.ALU), (OpClass.BRANCH, FUType.ALU),
+        (OpClass.JUMP, FUType.ALU), (OpClass.SYS, FUType.ALU),
+        (OpClass.INT_MUL, FUType.MULDIV), (OpClass.INT_DIV, FUType.MULDIV),
+        (OpClass.FP_ADD, FUType.FPU), (OpClass.FP_DIV, FUType.FPU),
+        (OpClass.LOAD, FUType.LOAD), (OpClass.STORE, FUType.STORE)])
+    def test_class_to_fu(self, cls, fu):
+        assert fu_type_for(cls) is fu
+
+
+class TestPerCycleLimits:
+    def test_issue_width_per_type(self, pool):
+        pool.begin_cycle(0)
+        assert pool.acquire(OpClass.INT_ALU, 1)
+        assert pool.acquire(OpClass.INT_ALU, 1)
+        assert not pool.acquire(OpClass.INT_ALU, 1)   # only 2 ALUs
+
+    def test_limits_reset_each_cycle(self, pool):
+        pool.begin_cycle(0)
+        pool.acquire(OpClass.INT_ALU, 1)
+        pool.acquire(OpClass.INT_ALU, 1)
+        pool.begin_cycle(1)
+        assert pool.available(FUType.ALU) == 2
+
+    def test_availability_vector(self, pool):
+        pool.begin_cycle(0)
+        pool.acquire(OpClass.LOAD, 4)
+        vec = pool.availability_vector()
+        assert vec[FUType.LOAD] == 0
+        assert vec[FUType.ALU] == 2
+
+
+class TestUnpipelined:
+    def test_divider_blocks_for_latency(self, pool):
+        pool.begin_cycle(0)
+        assert pool.acquire(OpClass.INT_DIV, 12)
+        pool.begin_cycle(5)
+        assert pool.available(FUType.MULDIV) == 0     # still dividing
+        assert not pool.acquire(OpClass.INT_MUL, 3)
+        pool.begin_cycle(13)
+        assert pool.available(FUType.MULDIV) == 1
+
+    def test_pipelined_mul_does_not_block(self, pool):
+        pool.begin_cycle(0)
+        assert pool.acquire(OpClass.INT_MUL, 3)
+        pool.begin_cycle(1)
+        assert pool.acquire(OpClass.INT_MUL, 3)       # new op each cycle
+
+    def test_fp_div_unpipelined(self, pool):
+        pool.begin_cycle(0)
+        assert pool.acquire(OpClass.FP_DIV, 12)
+        pool.begin_cycle(1)
+        assert not pool.acquire(OpClass.FP_ADD, 3)    # FPU busy

@@ -1,0 +1,46 @@
+"""Simulation statistics helpers."""
+
+import pytest
+
+from repro.pipeline import SimStats
+
+
+class TestDerived:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_occupancy(self):
+        stats = SimStats(cycles=10, rob_occupancy_sum=500)
+        assert stats.occupancy("rob") == 50.0
+
+    def test_stall_breakdown_keys(self):
+        stats = SimStats(stall_rob=3, stall_iq=1, stall_reg=2)
+        breakdown = stats.stall_breakdown()
+        assert breakdown == {"ROB": 3, "IQ": 1, "LQ": 0, "SQ": 0,
+                             "REG": 2}
+
+    def test_summary_mentions_ipc_and_events(self):
+        stats = SimStats(name="x", cycles=10, committed=20,
+                         branch_mispredicts=3)
+        text = stats.summary()
+        assert "IPC 2.000" in text and "mispredicts=3" in text
+
+
+class TestMatrixActivity:
+    def test_per_cycle_normalization(self):
+        stats = SimStats(cycles=100, iq_select_ops=50, iq_writes=200,
+                         rob_check_ops=25, rob_check_rows=100,
+                         mdm_ops=10, wakeup_ops=40)
+        activity = stats.matrix_activity()
+        assert activity["iq_ops"] == 0.5
+        assert activity["iq_writes"] == 2.0
+        assert activity["rob_rows"] == 4.0      # rows per check op
+        assert activity["wakeup_ops"] == 0.4
+
+    def test_zero_cycles_safe(self):
+        activity = SimStats().matrix_activity()
+        assert all(v == 0 for v in activity.values())

@@ -1,0 +1,74 @@
+"""Parameterized synthetic workload generator."""
+
+import pytest
+
+from repro.isa import OpClass, trace_program
+from repro.pipeline import base_config, simulate
+from repro.workloads import SyntheticSpec
+
+
+class TestValidation:
+    def test_entropy_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(branch_entropy=1.5)
+
+    def test_lane_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(lanes=9)
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(iterations=0)
+
+
+class TestGeneration:
+    def test_builds_and_runs(self):
+        spec = SyntheticSpec(iterations=50, lanes=2, loads_per_iter=1)
+        trace = trace_program(spec.build())
+        stats = simulate(trace, base_config())
+        assert stats.committed == len(trace)
+
+    def test_mix_follows_knobs(self):
+        spec = SyntheticSpec(iterations=50, lanes=1, loads_per_iter=2,
+                             stores_per_iter=1, muls_per_iter=2,
+                             fp_per_iter=1)
+        trace = trace_program(spec.build())
+        mix = trace.class_mix()
+        assert mix.get(OpClass.STORE, 0) > 0
+        assert mix.get(OpClass.FP_ADD, 0) > 0
+        # 2 indexed loads + 1 LCG mul + 2 pressure muls per iteration
+        assert mix.get(OpClass.INT_MUL, 0) > mix.get(OpClass.STORE, 0)
+
+    def test_footprint_drives_misses(self):
+        small = SyntheticSpec(iterations=150, loads_per_iter=2,
+                              footprint_kb=16, name="small")
+        big = SyntheticSpec(iterations=150, loads_per_iter=2,
+                            footprint_kb=8192, name="big")
+        from repro.pipeline import O3Core
+        small_core = O3Core(trace_program(small.build()), base_config())
+        small_stats = small_core.run()
+        big_core = O3Core(trace_program(big.build()), base_config())
+        big_stats = big_core.run()
+        # the small footprint re-hits lines in the L1; the big one
+        # scatters over fresh lines (short runs are cold-miss dominated,
+        # so compare at the L1 and through IPC)
+        assert big_stats.memory["l1_miss_rate"] > \
+            small_stats.memory["l1_miss_rate"] + 0.1
+        assert big_stats.ipc < small_stats.ipc
+
+    def test_branch_entropy_drives_mispredicts(self):
+        tame = SyntheticSpec(iterations=300, branch_entropy=0.0,
+                             name="tame")
+        wild = SyntheticSpec(iterations=300, branch_entropy=1.0,
+                             name="wild")
+        tame_stats = simulate(trace_program(tame.build()), base_config())
+        wild_stats = simulate(trace_program(wild.build()), base_config())
+        assert wild_stats.branch_mispredicts > \
+            tame_stats.branch_mispredicts + 10
+
+    def test_deterministic_given_seed(self):
+        a = trace_program(SyntheticSpec(seed=5).build())
+        b = trace_program(SyntheticSpec(seed=5).build())
+        assert len(a) == len(b)
+        assert all(x.opcode is y.opcode and x.addr == y.addr
+                   for x, y in zip(a, b))

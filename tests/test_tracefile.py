@@ -1,0 +1,74 @@
+"""Trace serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.isa import ProgramBuilder, load_trace, save_trace, trace_program
+from repro.pipeline import base_config, simulate
+
+
+@pytest.fixture
+def trace():
+    b = ProgramBuilder("roundtrip")
+    b.li("x1", 5).li("x2", 0)
+    b.label("loop")
+    b.ld("x3", "x4", 8)
+    b.sd("x3", "x4", 16)
+    b.fadd("f1", "f1", "f2")
+    b.addi("x2", "x2", 1)
+    b.blt("x2", "x1", "loop")
+    b.halt()
+    return trace_program(b.build())
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path, trace):
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert (a.seq, a.pc, a.opcode, a.dst, a.srcs, a.imm, a.addr,
+                    a.taken, a.next_pc, a.fault) == \
+                   (b.seq, b.pc, b.opcode, b.dst, b.srcs, b.imm, b.addr,
+                    b.taken, b.next_pc, b.fault)
+
+    def test_loaded_trace_simulates_identically(self, tmp_path, trace):
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        original = simulate(trace, base_config())
+        reloaded = simulate(loaded, base_config())
+        assert original.cycles == reloaded.cycles
+        assert original.ipc == reloaded.ipc
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "vx.jsonl"
+        path.write_text(json.dumps({"format": "repro-trace",
+                                    "version": 99, "count": 0}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated(self, tmp_path, trace):
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)

@@ -1,0 +1,117 @@
+"""Wakeup matrix: positional dependence tracking in the IQ."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WakeupMatrix
+
+
+class TestWakeup:
+    def test_no_producers_ready_immediately(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        assert wm.is_ready(0)
+        assert wm.ready()[0]
+
+    def test_waits_for_all_producers(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        wm.dispatch(1, [])
+        wm.dispatch(2, [0, 1])
+        assert not wm.is_ready(2)
+        wm.issue([0])
+        assert not wm.is_ready(2)
+        wm.issue([1])
+        assert wm.is_ready(2)
+
+    def test_multi_issue_single_cycle(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        wm.dispatch(1, [])
+        wm.dispatch(2, [0, 1])
+        wm.issue([0, 1])
+        assert wm.is_ready(2)
+
+    def test_issue_frees_entry(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        wm.issue([0])
+        assert not wm.valid[0]
+        wm.dispatch(0, [])     # reuse
+        assert wm.is_ready(0)
+
+    def test_issue_invalid_rejected(self):
+        wm = WakeupMatrix(4)
+        with pytest.raises(ValueError):
+            wm.issue([0])
+
+    def test_double_dispatch_rejected(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        with pytest.raises(ValueError):
+            wm.dispatch(0, [])
+
+    def test_waiting_on_lists_producers(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(1, [])
+        wm.dispatch(3, [1])
+        assert wm.waiting_on(3) == [1]
+        wm.issue([1])
+        assert wm.waiting_on(3) == []
+
+    def test_squash_does_not_wake_dependents(self):
+        wm = WakeupMatrix(4)
+        wm.dispatch(0, [])
+        wm.dispatch(1, [0])
+        wm.dispatch(2, [1])
+        # squash 1 and 2 together (both younger than some mispredict)
+        wm.squash([1, 2])
+        assert not wm.valid[1] and not wm.valid[2]
+        assert wm.valid[0]
+        # entries reusable afterwards
+        wm.dispatch(1, [0])
+        assert not wm.is_ready(1)
+
+    def test_ready_vector_matches_is_ready(self):
+        wm = WakeupMatrix(6)
+        wm.dispatch(0, [])
+        wm.dispatch(1, [0])
+        wm.dispatch(5, [])
+        ready = wm.ready()
+        for entry in range(6):
+            if wm.valid[entry]:
+                assert ready[entry] == wm.is_ready(entry)
+            else:
+                assert not ready[entry]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_wakeup_matches_dependency_oracle(data):
+    """Property: an instruction is ready iff all its producers issued."""
+    size = data.draw(st.integers(min_value=2, max_value=16))
+    wm = WakeupMatrix(size)
+    producers = {}
+    for _ in range(data.draw(st.integers(min_value=1, max_value=40))):
+        free = [e for e in range(size) if not wm.valid[e]]
+        live = [e for e in range(size) if wm.valid[e]]
+        ready_live = [e for e in live if wm.is_ready(e)]
+        if free and (not ready_live or data.draw(st.booleans())):
+            entry = data.draw(st.sampled_from(free))
+            deps = data.draw(st.lists(st.sampled_from(live), unique=True)) \
+                if live else []
+            wm.dispatch(entry, deps)
+            producers[entry] = set(deps)
+        elif ready_live:
+            entry = data.draw(st.sampled_from(ready_live))
+            wm.issue([entry])
+            for deps in producers.values():
+                deps.discard(entry)
+            del producers[entry]
+
+        for entry in range(size):
+            if wm.valid[entry]:
+                live_deps = {d for d in producers[entry] if wm.valid[d]}
+                assert wm.is_ready(entry) == (not live_deps)

@@ -9,6 +9,12 @@ Commands mirror the paper's evaluation artefacts:
 * ``stalls``        — the §2.2/§6.2 stall statistics
 * ``overhead``      — the §6.3 overhead report
 * ``scalability``   — the §6.4 scaling study
+* ``bench``         — executor smoke run: one figure end-to-end with
+  wall-clock / cache-hit accounting
+
+Experiment commands accept ``--jobs N`` (parallel simulation workers,
+default ``$REPRO_JOBS``) and ``--no-cache`` (bypass the on-disk result
+cache under ``benchmarks/.cache/``).
 """
 
 from __future__ import annotations
@@ -18,8 +24,9 @@ import sys
 from typing import List, Optional
 
 from .circuit import (format_scalability, format_table2, overhead_report)
-from .harness import (fig14, fig15, fig16, format_characterization,
-                      hbar_chart, stall_breakdown, table1, table2_measured)
+from .harness import (default_workers, fig14, fig15, fig16,
+                      format_characterization, hbar_chart, stall_breakdown,
+                      table1, table2_measured)
 from .isa import save_trace
 from .pipeline import (COMMITS, SCHEDULERS, O3Core, Timeline,
                        make_config, simulate)
@@ -31,6 +38,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--kernels", nargs="*", default=None,
                         help="restrict to these suite kernels")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel simulation workers "
+                             "(default $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache under "
+                             "benchmarks/.cache/")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(table2_parser)
     sub.add_parser("overhead", help="area/power overheads (§6.3)")
     sub.add_parser("scalability", help="array scaling study (§6.4)")
+
+    bench = sub.add_parser(
+        "bench", help="executor smoke benchmark: one figure end-to-end "
+                      "with wall-clock / cache accounting")
+    bench.add_argument("figure", nargs="?", default="fig14",
+                       choices=("fig14", "fig15", "fig16"))
+    _add_common(bench)
     return parser
 
 
@@ -99,8 +119,38 @@ def _cmd_run(args) -> str:
     return "\n".join(lines)
 
 
+def _exec_opts(args) -> dict:
+    """Executor knobs shared by the experiment commands.
+
+    The CLI caches by default (``--no-cache`` opts out), unlike the
+    library default which requires ``$REPRO_CACHE=1``.
+    """
+    return {"workers": args.jobs, "use_cache": not args.no_cache}
+
+
+def _cmd_bench(args) -> str:
+    """Executor smoke target: one figure end-to-end, with accounting."""
+    import time
+    figures = {"fig14": fig14, "fig15": fig15, "fig16": fig16}
+    start = time.perf_counter()
+    result = figures[args.figure](scale=args.scale, names=args.kernels,
+                                  **_exec_opts(args))
+    wall = time.perf_counter() - start
+    workers = args.jobs if args.jobs is not None else default_workers()
+    sim = result.sim_seconds()
+    lines = [result.format(), "",
+             f"executor: {result.cells()} cells, workers={workers}, "
+             f"cache {'off' if args.no_cache else 'on'} "
+             f"({result.cache_hits()} hits)",
+             f"wall-clock {wall:.2f}s; per-cell simulation time "
+             f"{sim:.2f}s" + (f" ({sim / wall:.2f}x overlap)"
+                              if wall > 0 else "")]
+    return "\n".join(lines)
+
+
 def _cmd_stalls(args) -> str:
-    data = stall_breakdown(scale=args.scale, names=args.kernels)
+    data = stall_breakdown(scale=args.scale, names=args.kernels,
+                           **_exec_opts(args))
     lines = []
     for label in ("IOC", "Orinoco"):
         entry = data[label]
@@ -136,30 +186,35 @@ def _dispatch(args) -> int:
         print(_cmd_run(args))
     elif command == "characterize":
         print(format_characterization(scale=args.scale,
-                                      names=args.kernels))
+                                      names=args.kernels,
+                                      **_exec_opts(args)))
     elif command == "save-trace":
         trace = build_trace(args.kernel, args.scale)
         save_trace(trace, args.path)
         print(f"wrote {len(trace)} instructions to {args.path}")
     elif command == "fig14":
-        result = fig14(scale=args.scale, names=args.kernels)
+        result = fig14(scale=args.scale, names=args.kernels,
+                       **_exec_opts(args))
         print(result.format())
         print()
         print(hbar_chart(result.summary, title="geomean speedup vs AGE"))
     elif command == "fig15":
-        result = fig15(scale=args.scale, names=args.kernels)
+        result = fig15(scale=args.scale, names=args.kernels,
+                       **_exec_opts(args))
         print(result.format())
         print()
         print(hbar_chart(result.summary, title="geomean speedup vs IOC"))
     elif command == "fig16":
-        print(fig16(scale=args.scale, names=args.kernels).format())
+        print(fig16(scale=args.scale, names=args.kernels,
+                    **_exec_opts(args)).format())
     elif command == "stalls":
         print(_cmd_stalls(args))
     elif command == "table1":
         print(table1())
     elif command == "table2":
         if args.measured:
-            rows = table2_measured(scale=args.scale, names=args.kernels)
+            rows = table2_measured(scale=args.scale, names=args.kernels,
+                                   **_exec_opts(args))
             print(format_table2(rows))
         else:
             print(format_table2())
@@ -167,6 +222,8 @@ def _dispatch(args) -> int:
         print(overhead_report().format())
     elif command == "scalability":
         print(format_scalability())
+    elif command == "bench":
+        print(_cmd_bench(args))
     return 0
 
 

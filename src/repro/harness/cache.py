@@ -1,0 +1,162 @@
+"""On-disk result cache for simulation cells.
+
+Every experiment cell — one (``CoreConfig``, workload) pair — is pure:
+the trace generators are seeded, the core model is deterministic, and a
+run's :class:`~repro.pipeline.SimStats` depend only on the
+configuration and the workload generation parameters.  That makes the
+cell cacheable under a stable content key:
+
+* every ``CoreConfig`` field (nested ``HierarchyConfig`` and the
+  per-op-class latency table included),
+* the workload name plus its scaled generation parameters
+  (so ``REPRO_SCALE`` changes bust the key),
+* for criticality runs, the profile configuration's fingerprint,
+* the repro package version.
+
+Entries live as one JSON file per cell under ``benchmarks/.cache/``
+(override with ``REPRO_CACHE_DIR``).  JSON round-trips Python ints and
+floats exactly, so a cache hit reproduces the original ``SimStats``
+bit-for-bit — the invariant the determinism suite enforces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Optional, Tuple
+
+from ..pipeline import CoreConfig, SimStats
+from ..workloads import generation_params
+
+
+def _repro_version() -> str:
+    # lazy: repro/__init__ defines __version__ *after* importing harness
+    import repro
+    return getattr(repro, "__version__", "0")
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``<repo>/benchmarks/.cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / ".cache"
+    return pathlib.Path.cwd() / "benchmarks" / ".cache"
+
+
+def _jsonable(value):
+    """Stable, JSON-serializable view of a config field value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {(key.name if isinstance(key, enum.Enum) else str(key)):
+                _jsonable(val) for key, val in value.items()}
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def config_fingerprint(config: CoreConfig) -> Dict[str, object]:
+    """Every field of the configuration, in JSON-stable form."""
+    return _jsonable(config)
+
+
+def cache_key(config: CoreConfig, workload: str, scale: float = 1.0,
+              profile_config: Optional[CoreConfig] = None) -> str:
+    """Stable content hash identifying one experiment cell."""
+    try:
+        params = generation_params(workload, scale)
+    except ValueError:
+        params = {}
+    payload = {
+        "version": _repro_version(),
+        "workload": workload,
+        "scale": scale,
+        "params": params,
+        "config": config_fingerprint(config),
+        "profile": (config_fingerprint(profile_config)
+                    if profile_config is not None else None),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:40]
+
+
+def stats_to_dict(stats: SimStats) -> Dict[str, object]:
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(data: Dict[str, object]) -> SimStats:
+    fields = {f.name for f in dataclasses.fields(SimStats)}
+    return SimStats(**{k: v for k, v in data.items() if k in fields})
+
+
+class ResultCache:
+    """One-JSON-file-per-cell cache under a root directory.
+
+    ``get``/``put`` handle full :class:`SimStats`; ``get_profile`` /
+    ``put_profile`` handle the per-PC event counts a criticality
+    profiling run produces, so dependent runs can reuse a profile
+    across processes *and* across invocations.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str, kind: str = "stats") -> pathlib.Path:
+        suffix = ".json" if kind == "stats" else f".{kind}.json"
+        return self.root / f"{key}{suffix}"
+
+    def _load(self, path: pathlib.Path) -> Optional[dict]:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _store(self, path: pathlib.Path, data: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        # write-then-rename so a concurrent reader never sees a torn file
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(data, sort_keys=True))
+        tmp.replace(path)
+
+    # -- SimStats cells ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[SimStats]:
+        data = self._load(self._path(key))
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats_from_dict(data)
+
+    def put(self, key: str, stats: SimStats) -> None:
+        self._store(self._path(key), stats_to_dict(stats))
+
+    # -- criticality profiles ---------------------------------------------
+
+    def get_profile(self, key: str
+                    ) -> Optional[Tuple[Dict[int, int], Dict[int, int]]]:
+        data = self._load(self._path(key, "profile"))
+        if data is None or not {"l1_misses", "mispredicts"} <= set(data):
+            return None
+        return ({int(pc): count for pc, count in data["l1_misses"].items()},
+                {int(pc): count for pc, count in data["mispredicts"].items()})
+
+    def put_profile(self, key: str, pc_l1_misses: Dict[int, int],
+                    pc_mispredicts: Dict[int, int]) -> None:
+        self._store(self._path(key, "profile"),
+                    {"l1_misses": pc_l1_misses,
+                     "mispredicts": pc_mispredicts})

@@ -8,9 +8,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..isa import OpClass
-from ..pipeline import O3Core, make_config
+from ..pipeline import make_config
 from ..workloads import build_suite
 from .report import format_table
+from .runner import run_config
 
 
 @dataclass
@@ -30,15 +31,18 @@ class KernelProfile:
 
 def characterize(scale: float = 1.0,
                  names: Optional[List[str]] = None,
-                 preset: str = "base") -> List[KernelProfile]:
+                 preset: str = "base",
+                 workers: Optional[int] = None,
+                 use_cache: Optional[bool] = None) -> List[KernelProfile]:
     """Run each kernel under the baseline core and profile it."""
     traces = build_suite(scale, names)
     config = make_config(preset)
+    result = run_config("characterize", config, traces,
+                        workers=workers, use_cache=use_cache)
     profiles = []
     for name, trace in traces.items():
         mix = trace.class_mix()
-        core = O3Core(trace, config)
-        stats = core.run()
+        stats = result.stats[name]
         kilo = max(1, stats.committed) / 1000.0
         profiles.append(KernelProfile(
             name=name,

@@ -4,6 +4,12 @@ Each function reproduces one evaluation artefact and returns an
 :class:`ExperimentResult` whose ``format()`` prints the same rows or
 series the paper reports.  The bench harness under ``benchmarks/``
 calls these and records paper-vs-measured in EXPERIMENTS.md.
+
+Every figure is a grid of independent (config, workload) cells, so the
+drivers build one flat job list and submit it through the parallel
+executor in a single batch: ``workers`` (default ``$REPRO_JOBS``) fans
+the whole grid out at once, and the criticality configurations share
+one profile simulation per workload instead of re-profiling per label.
 """
 
 from __future__ import annotations
@@ -13,9 +19,9 @@ from typing import Dict, List, Optional
 
 from ..pipeline import CoreConfig, make_config
 from ..workloads import build_suite
+from .parallel import Job, jobs_for, run_suite
 from .report import format_speedup_matrix, format_table, percent
-from .runner import (SuiteResult, geomean, geomean_speedup, run_config,
-                     run_config_with_criticality, speedups)
+from .runner import (SuiteResult, geomean, resolve_execution, speedups)
 
 
 @dataclass
@@ -46,6 +52,16 @@ class ExperimentResult:
             parts.append("notes: " + "; ".join(self.notes))
         return "\n\n".join(parts)
 
+    def sim_seconds(self) -> float:
+        """Total simulation wall-clock over every cell of the figure."""
+        return sum(r.sim_seconds() for r in self.results.values())
+
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits() for r in self.results.values())
+
+    def cells(self) -> int:
+        return sum(len(r.stats) for r in self.results.values())
+
 
 def _collect(results: Dict[str, SuiteResult], baseline_label: str,
              name: str, description: str) -> ExperimentResult:
@@ -64,29 +80,32 @@ def _collect(results: Dict[str, SuiteResult], baseline_label: str,
 
 
 def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
-          preset: str = "base", progress: bool = False) -> ExperimentResult:
+          preset: str = "base", progress: bool = False,
+          workers: Optional[int] = None,
+          use_cache: Optional[bool] = None) -> ExperimentResult:
     """Figure 14: IPC improvements of priority scheduling.
 
     Baseline AGE; comparisons MULT, Orinoco, CRI w/ AGE, CRI w/ Orinoco
-    — all with in-order commit.
+    — all with in-order commit.  The two CRI configurations share one
+    AGE profile simulation per workload (the profile→tag→run stages are
+    expressed as an executor dependency, not re-simulated per label).
     """
     traces = build_suite(scale, names)
     base = make_config(preset, commit="ioc")
-    results: Dict[str, SuiteResult] = {}
-    results["AGE"] = run_config(
-        "AGE", base.with_policies(scheduler="age"), traces, progress)
-    results["MULT"] = run_config(
-        "MULT", base.with_policies(scheduler="mult"), traces, progress)
-    results["Orinoco"] = run_config(
-        "Orinoco", base.with_policies(scheduler="orinoco"), traces,
-        progress)
     profile_config = base.with_policies(scheduler="age")
-    results["CRI w/ AGE"] = run_config_with_criticality(
-        "CRI w/ AGE", base.with_policies(scheduler="age", criticality=True),
-        traces, profile_config, progress)
-    results["CRI w/ Orinoco"] = run_config_with_criticality(
-        "CRI w/ Orinoco", base.with_policies(scheduler="cri"),
-        traces, profile_config, progress)
+    workers, cache = resolve_execution(workers, use_cache)
+    jobs: List[Job] = []
+    jobs += jobs_for("AGE", base.with_policies(scheduler="age"), traces)
+    jobs += jobs_for("MULT", base.with_policies(scheduler="mult"), traces)
+    jobs += jobs_for("Orinoco", base.with_policies(scheduler="orinoco"),
+                     traces)
+    jobs += jobs_for("CRI w/ AGE",
+                     base.with_policies(scheduler="age", criticality=True),
+                     traces, profile_config)
+    jobs += jobs_for("CRI w/ Orinoco", base.with_policies(scheduler="cri"),
+                     traces, profile_config)
+    results = run_suite(jobs, workers=workers, cache=cache,
+                        progress=progress)
     return _collect(results, "AGE", "Figure 14",
                     "IPC improvement of priority scheduling over AGE")
 
@@ -106,48 +125,56 @@ FIG15_CONFIGS = {
 
 
 def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
-          preset: str = "base", progress: bool = False) -> ExperimentResult:
+          preset: str = "base", progress: bool = False,
+          workers: Optional[int] = None,
+          use_cache: Optional[bool] = None) -> ExperimentResult:
     """Figure 15: IPC improvements of out-of-order commit over IOC
     (all with the AGE scheduler, as in the paper's baseline)."""
     traces = build_suite(scale, names)
     base = make_config(preset, scheduler="age")
-    results: Dict[str, SuiteResult] = {}
-    results["IOC"] = run_config("IOC", base.with_policies(commit="ioc"),
-                                traces, progress)
+    workers, cache = resolve_execution(workers, use_cache)
+    jobs = jobs_for("IOC", base.with_policies(commit="ioc"), traces)
     for label, commit in FIG15_CONFIGS.items():
-        results[label] = run_config(
-            label, base.with_policies(commit=commit), traces, progress)
+        jobs += jobs_for(label, base.with_policies(commit=commit), traces)
+    results = run_suite(jobs, workers=workers, cache=cache,
+                        progress=progress)
     return _collect(results, "IOC", "Figure 15",
                     "IPC improvement of out-of-order commit over IOC")
 
 
 def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
-          progress: bool = False) -> ExperimentResult:
+          progress: bool = False, workers: Optional[int] = None,
+          use_cache: Optional[bool] = None) -> ExperimentResult:
     """Figure 16: sensitivity to core size (Base / Pro / Ultra).
 
     For each size, speedups of priority scheduling (Orinoco issue),
     out-of-order commit (Orinoco commit) and both over that size's
-    AGE+IOC baseline.
+    AGE+IOC baseline.  All 12 configurations are submitted as one batch.
     """
     traces = build_suite(scale, names)
-    experiment = ExperimentResult(
-        "Figure 16", "normalized performance sensitivity",
-        baseline_label="AGE+IOC")
+    workers, cache = resolve_execution(workers, use_cache)
+    variant_kinds = {
+        "priority": dict(scheduler="orinoco"),
+        "ooo-commit": dict(commit="orinoco"),
+        "synergy": dict(scheduler="orinoco", commit="orinoco"),
+    }
+    jobs: List[Job] = []
     for preset in ("base", "pro", "ultra"):
         base = make_config(preset, scheduler="age", commit="ioc")
-        baseline = run_config(f"{preset}: AGE+IOC", base, traces, progress)
-        variants = {
-            "priority": base.with_policies(scheduler="orinoco"),
-            "ooo-commit": base.with_policies(commit="orinoco"),
-            "synergy": base.with_policies(scheduler="orinoco",
-                                          commit="orinoco"),
-        }
-        experiment.results[f"{preset}: AGE+IOC"] = baseline
-        for kind, config in variants.items():
+        jobs += jobs_for(f"{preset}: AGE+IOC", base, traces)
+        for kind, policies in variant_kinds.items():
+            jobs += jobs_for(f"{preset}: {kind}",
+                             base.with_policies(**policies), traces)
+    results = run_suite(jobs, workers=workers, cache=cache,
+                        progress=progress)
+    experiment = ExperimentResult(
+        "Figure 16", "normalized performance sensitivity",
+        baseline_label="AGE+IOC", results=results)
+    for preset in ("base", "pro", "ultra"):
+        baseline = results[f"{preset}: AGE+IOC"]
+        for kind in variant_kinds:
             label = f"{preset}: {kind}"
-            result = run_config(label, config, traces, progress)
-            experiment.results[label] = result
-            per = speedups(result, baseline)
+            per = speedups(results[label], baseline)
             for workload, value in per.items():
                 experiment.per_workload.setdefault(
                     workload, {})[label] = value
@@ -158,7 +185,10 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
 def stall_breakdown(scale: float = 1.0,
                     names: Optional[List[str]] = None,
                     preset: str = "base",
-                    progress: bool = False) -> Dict[str, Dict[str, float]]:
+                    progress: bool = False,
+                    workers: Optional[int] = None,
+                    use_cache: Optional[bool] = None
+                    ) -> Dict[str, Dict[str, float]]:
     """§2.2 / §6.2 statistics.
 
     Returns, for IOC and Orinoco commit:
@@ -170,10 +200,15 @@ def stall_breakdown(scale: float = 1.0,
     """
     traces = build_suite(scale, names)
     base = make_config(preset, scheduler="age")
+    workers, cache = resolve_execution(workers, use_cache)
+    jobs = (jobs_for("IOC", base.with_policies(commit="ioc"), traces)
+            + jobs_for("Orinoco", base.with_policies(commit="orinoco"),
+                       traces))
+    results = run_suite(jobs, workers=workers, cache=cache,
+                        progress=progress)
     out: Dict[str, Dict[str, float]] = {}
-    for label, commit in (("IOC", "ioc"), ("Orinoco", "orinoco")):
-        result = run_config(label, base.with_policies(commit=commit),
-                            traces, progress)
+    for label in ("IOC", "Orinoco"):
+        result = results[label]
         total = {"commit_stalls": 0, "ready_not_head": 0,
                  "full_window": 0, "fw_ready": 0, "rob_full": 0,
                  "rob": 0, "iq": 0, "lq": 0, "sq": 0, "reg": 0,

@@ -1,0 +1,244 @@
+"""Parallel experiment executor: fan simulation cells out over workers.
+
+Every paper artefact is a grid of independent (config, workload) cells
+— exactly the embarrassingly parallel shape the figures' serial loops
+wasted.  :func:`run_suite` takes a flat list of :class:`Job` cells and
+executes them over a ``multiprocessing`` pool, with three guarantees:
+
+* **Determinism** — results are assembled in job order via
+  ``Pool.map``, every cell is a pure function of (config, workload
+  name, scale), and cells are reconstructed identically in any
+  process; parallel, serial, and cached paths return bit-identical
+  :class:`~repro.pipeline.SimStats`.
+* **Spawn safety** — workers receive a pickled ``CoreConfig`` plus the
+  *workload name and scale*, never a pickled ``Trace``: traces are
+  large (megabytes of ``DynInstr``) and rebuilding from the seeded
+  workload registry is both cheaper than pickling and guaranteed to
+  reproduce the same instruction stream.  The ``spawn`` start method
+  is used explicitly so the executor behaves identically on every
+  platform (fork would share the parent's trace cache by accident).
+* **Two-stage criticality** — jobs carrying a ``profile_config``
+  express the profile→tag→run dependency: stage one runs each unique
+  (profile config, workload) cell exactly once, stage two feeds that
+  single profile to every dependent run (the serial path re-simulated
+  the profile per output config).
+
+Results come back as ``{label: SuiteResult}`` with per-cell wall-clock
+timings so benchmark output can report actual speedup, and an optional
+:class:`~repro.harness.cache.ResultCache` short-circuits cells whose
+key was already computed.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..criticality import CriticalityTagger, clear_tags
+from ..pipeline import CoreConfig, O3Core, SimStats
+from ..workloads import SUITE, build_trace
+from .cache import ResultCache, cache_key
+
+#: pc_l1_misses, pc_mispredicts — the profile payload fed to the tagger
+ProfileData = Tuple[Dict[int, int], Dict[int, int]]
+
+
+@dataclass
+class Job:
+    """One simulation cell: a config applied to one registry workload."""
+
+    label: str
+    config: CoreConfig
+    workload: str
+    scale: float = 1.0
+    #: when set, this is a criticality run: profile under this config,
+    #: tag the critical slices, then simulate under ``config``
+    profile_config: Optional[CoreConfig] = None
+
+
+def default_workers() -> int:
+    """Worker count from ``$REPRO_JOBS`` (default 1 = in-process)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def default_use_cache() -> bool:
+    """Cache policy from ``$REPRO_CACHE`` (off unless set to 1)."""
+    return os.environ.get("REPRO_CACHE", "0") not in ("0", "", "no")
+
+
+def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
+             profile_config: Optional[CoreConfig] = None) -> List[Job]:
+    """Jobs covering ``traces`` (suite-registry traces only)."""
+    jobs = []
+    for name, trace in traces.items():
+        scale = getattr(trace, "scale", None)
+        if name not in SUITE or scale is None:
+            raise ValueError(
+                f"trace {name!r} is not rebuildable from the workload "
+                f"registry; use the serial runner for ad-hoc traces")
+        jobs.append(Job(label, config, name, scale, profile_config))
+    return jobs
+
+
+# -- worker protocol -------------------------------------------------------
+# Top-level functions so they pickle by reference under spawn.  Workers
+# import repro afresh, rebuild the trace from the registry, simulate,
+# and return (picklable) SimStats plus the cell's wall-clock seconds.
+
+def _simulate_profile(task) -> Tuple[Dict[int, int], Dict[int, int], float]:
+    """Stage 1: profile run → per-PC L1-miss / misprediction counts."""
+    config, workload, scale = task
+    trace = build_trace(workload, scale)
+    start = time.perf_counter()
+    core = O3Core(trace, config)
+    core.run()
+    return (dict(core.pc_l1_misses), dict(core.pc_mispredicts),
+            time.perf_counter() - start)
+
+
+def _simulate_cell(task) -> Tuple[SimStats, float]:
+    """Stage 2: simulate one cell (tagging first for criticality runs).
+
+    Tagging happens *inside* the try so a crash mid-``tag`` (partial
+    tags) still clears the shared in-process trace on the way out.
+    """
+    config, workload, scale, profile = task
+    trace = build_trace(workload, scale)
+    start = time.perf_counter()
+    if profile is None:
+        stats = O3Core(trace, config).run()
+    else:
+        tagger = CriticalityTagger()
+        tagger.feed_profile(profile[0], profile[1])
+        try:
+            tagger.tag(trace)
+            stats = O3Core(trace, config).run()
+        finally:
+            clear_tags(trace)
+    return stats, time.perf_counter() - start
+
+
+# -- pool management -------------------------------------------------------
+# Pools persist across run_suite calls so a pytest session (or a CLI
+# figure with several sub-suites) pays worker spawn + import once.
+
+_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
+
+
+def _get_pool(workers: int) -> multiprocessing.pool.Pool:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        context = multiprocessing.get_context("spawn")
+        pool = context.Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (also runs atexit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _map(workers: int, func, tasks: Sequence) -> List:
+    """Order-preserving map, in-process when workers <= 1."""
+    if workers <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    return _get_pool(workers).map(func, tasks)
+
+
+# -- the executor ----------------------------------------------------------
+
+def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              progress: bool = False) -> Dict[str, "SuiteResult"]:
+    """Execute every job; return ``{label: SuiteResult}`` in job order.
+
+    ``workers=None`` reads ``$REPRO_JOBS``; ``workers<=1`` runs
+    in-process (the bit-identical serial reference path).  ``cache``
+    short-circuits cells (and profiles) already on disk.
+    """
+    from .runner import SuiteResult          # local: avoid import cycle
+    if workers is None:
+        workers = default_workers()
+
+    # cached cells short-circuit everything, including their profiles
+    cell_keys = [cache_key(job.config, job.workload, job.scale,
+                           job.profile_config) for job in jobs]
+    outcomes: Dict[int, Tuple[SimStats, float, bool]] = {}
+    if cache is not None:
+        for index in range(len(jobs)):
+            hit = cache.get(cell_keys[index])
+            if hit is not None:
+                outcomes[index] = (hit, 0.0, True)
+
+    # stage 1: one profile simulation per unique (profile, workload) cell
+    profile_keys = {}                        # job index -> profile cell key
+    profile_cells = {}                       # key -> (config, name, scale)
+    for index, job in enumerate(jobs):
+        if job.profile_config is None or index in outcomes:
+            continue
+        key = cache_key(job.profile_config, job.workload, job.scale)
+        profile_keys[index] = key
+        profile_cells.setdefault(
+            key, (job.profile_config, job.workload, job.scale))
+    profiles: Dict[str, ProfileData] = {}
+    if cache is not None:
+        for key in list(profile_cells):
+            hit = cache.get_profile(key)
+            if hit is not None:
+                profiles[key] = hit
+                del profile_cells[key]
+    pending = list(profile_cells.items())
+    if pending and progress:
+        for key, (config, name, scale) in pending:
+            print(f"    profile[{config.scheduler}/{config.commit}]: "
+                  f"{name}", flush=True)
+    for (key, _), (misses, mispredicts, _elapsed) in zip(
+            pending, _map(workers, _simulate_profile,
+                          [cell for _, cell in pending])):
+        profiles[key] = (misses, mispredicts)
+        if cache is not None:
+            cache.put_profile(key, misses, mispredicts)
+
+    # stage 2: the remaining runs
+    tasks, task_indices = [], []
+    for index, job in enumerate(jobs):
+        if index in outcomes:
+            continue
+        profile = profiles[profile_keys[index]] \
+            if index in profile_keys else None
+        tasks.append((job.config, job.workload, job.scale, profile))
+        task_indices.append(index)
+    if progress:
+        for index, job in enumerate(jobs):
+            note = " (cached)" if index in outcomes else ""
+            print(f"    {job.label}: {job.workload}{note}", flush=True)
+    for index, (stats, elapsed) in zip(
+            task_indices, _map(workers, _simulate_cell, tasks)):
+        outcomes[index] = (stats, elapsed, False)
+        if cache is not None:
+            cache.put(cell_keys[index], stats)
+
+    results: Dict[str, SuiteResult] = {}
+    for index, job in enumerate(jobs):
+        stats, elapsed, was_cached = outcomes[index]
+        result = results.get(job.label)
+        if result is None:
+            result = results[job.label] = SuiteResult(job.label, job.config)
+        result.stats[job.workload] = stats
+        result.timings[job.workload] = elapsed
+        result.cached[job.workload] = was_cached
+    return results

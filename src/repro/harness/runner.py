@@ -1,14 +1,27 @@
-"""Experiment runner: simulate suites of (config, workload) pairs."""
+"""Experiment runner: simulate suites of (config, workload) pairs.
+
+``run_config`` / ``run_config_with_criticality`` keep their original
+signatures but now submit through the parallel executor
+(:mod:`repro.harness.parallel`): ``workers`` defaults to ``$REPRO_JOBS``
+and ``use_cache`` to ``$REPRO_CACHE``, so the serial seed behaviour is
+unchanged unless the environment (or a caller) opts in.  Ad-hoc traces
+that are not rebuildable from the workload registry fall back to the
+in-process serial path automatically.
+"""
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..criticality import CriticalityTagger, clear_tags
 from ..isa import Trace
 from ..pipeline import CoreConfig, O3Core, SimStats
+from .cache import ResultCache
+from .parallel import (Job, default_use_cache, default_workers, jobs_for,
+                       run_suite)
 
 
 @dataclass
@@ -18,46 +31,155 @@ class SuiteResult:
     label: str
     config: CoreConfig
     stats: Dict[str, SimStats] = field(default_factory=dict)
+    #: per-workload simulation wall-clock seconds (0.0 for cache hits)
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: per-workload flag: did the cell come from the result cache?
+    cached: Dict[str, bool] = field(default_factory=dict)
 
     def ipc(self, workload: str) -> float:
-        return self.stats[workload].ipc
+        try:
+            return self.stats[workload].ipc
+        except KeyError:
+            available = ", ".join(sorted(self.stats)) or "none"
+            raise KeyError(
+                f"no stats for workload {workload!r} in suite result "
+                f"{self.label!r} (available: {available})") from None
 
     def workloads(self) -> List[str]:
         return list(self.stats)
 
+    def sim_seconds(self) -> float:
+        """Total simulation wall-clock across cells (cache hits cost 0)."""
+        return sum(self.timings.values())
+
+    def cache_hits(self) -> int:
+        return sum(1 for hit in self.cached.values() if hit)
+
+
+def resolve_execution(workers: Optional[int] = None,
+                      use_cache: Optional[bool] = None,
+                      cache: Optional[ResultCache] = None
+                      ) -> Tuple[int, Optional[ResultCache]]:
+    """Fill executor knobs from the environment where unspecified."""
+    if workers is None:
+        workers = default_workers()
+    if cache is None:
+        if use_cache is None:
+            use_cache = default_use_cache()
+        cache = ResultCache() if use_cache else None
+    return workers, cache
+
+
+def _registry_backed(traces: Dict[str, Trace]) -> bool:
+    from ..workloads import SUITE
+    return all(name in SUITE and getattr(trace, "scale", None) is not None
+               for name, trace in traces.items())
+
 
 def run_config(label: str, config: CoreConfig,
                traces: Dict[str, Trace],
-               progress: bool = False) -> SuiteResult:
-    """Simulate every trace under ``config``."""
+               progress: bool = False,
+               workers: Optional[int] = None,
+               use_cache: Optional[bool] = None,
+               cache: Optional[ResultCache] = None) -> SuiteResult:
+    """Simulate every trace under ``config`` (via the executor)."""
+    if not _registry_backed(traces):
+        return _serial_run_config(label, config, traces, progress)
+    workers, cache = resolve_execution(workers, use_cache, cache)
+    results = run_suite(jobs_for(label, config, traces),
+                        workers=workers, cache=cache, progress=progress)
+    return results.get(label, SuiteResult(label, config))
+
+
+def _serial_run_config(label: str, config: CoreConfig,
+                       traces: Dict[str, Trace],
+                       progress: bool = False) -> SuiteResult:
+    """The seed path: ad-hoc traces simulated in-process."""
     result = SuiteResult(label, config)
     for name, trace in traces.items():
         if progress:
             print(f"    {label}: {name}", flush=True)
+        start = time.perf_counter()
         result.stats[name] = O3Core(trace, config).run()
+        result.timings[name] = time.perf_counter() - start
+        result.cached[name] = False
     return result
+
+
+def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
+                          traces: Dict[str, Trace],
+                          profile_config: CoreConfig,
+                          progress: bool = False,
+                          workers: Optional[int] = None,
+                          use_cache: Optional[bool] = None,
+                          cache: Optional[ResultCache] = None
+                          ) -> Dict[str, SuiteResult]:
+    """CRI runs for several output configs sharing one profile.
+
+    Profile under ``profile_config`` (HPC stand-in) once per workload,
+    tag the critical slices via CCT+IBDA, then simulate every
+    ``(label, config)`` spec against the tagged trace.  The profile
+    simulation is deduplicated: one profile feeds all dependent runs.
+    """
+    if not _registry_backed(traces):
+        return _serial_criticality_suite(specs, traces, profile_config,
+                                         progress)
+    workers, cache = resolve_execution(workers, use_cache, cache)
+    jobs: List[Job] = []
+    for label, config in specs:
+        jobs.extend(jobs_for(label, config, traces, profile_config))
+    results = run_suite(jobs, workers=workers, cache=cache,
+                        progress=progress)
+    return {label: results.get(label, SuiteResult(label, config))
+            for label, config in specs}
+
+
+def _serial_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
+                              traces: Dict[str, Trace],
+                              profile_config: CoreConfig,
+                              progress: bool = False
+                              ) -> Dict[str, SuiteResult]:
+    """Ad-hoc-trace path: profile each trace once, feed every spec."""
+    results = {label: SuiteResult(label, config)
+               for label, config in specs}
+    for name, trace in traces.items():
+        if progress:
+            print(f"    profile: {name}", flush=True)
+        profiler = O3Core(trace, profile_config)
+        profiler.run()
+        for label, config in specs:
+            if progress:
+                print(f"    {label}: {name}", flush=True)
+            tagger = CriticalityTagger()
+            tagger.feed_profile(profiler.pc_l1_misses,
+                                profiler.pc_mispredicts)
+            start = time.perf_counter()
+            # tag() inside the try: a crash mid-tag must not leak
+            # partial tags into later runs of this shared trace
+            try:
+                tagger.tag(trace)
+                results[label].stats[name] = O3Core(trace, config).run()
+            finally:
+                clear_tags(trace)
+            results[label].timings[name] = time.perf_counter() - start
+            results[label].cached[name] = False
+    return results
 
 
 def run_config_with_criticality(label: str, config: CoreConfig,
                                 traces: Dict[str, Trace],
                                 profile_config: CoreConfig,
-                                progress: bool = False) -> SuiteResult:
-    """CRI runs: profile under ``profile_config`` (HPC stand-in), tag
-    the critical slices via CCT+IBDA, simulate, then clear the tags."""
-    result = SuiteResult(label, config)
-    for name, trace in traces.items():
-        if progress:
-            print(f"    {label}: {name} (profile+run)", flush=True)
-        profiler = O3Core(trace, profile_config)
-        profiler.run()
-        tagger = CriticalityTagger()
-        tagger.feed_profile(profiler.pc_l1_misses, profiler.pc_mispredicts)
-        tagger.tag(trace)
-        try:
-            result.stats[name] = O3Core(trace, config).run()
-        finally:
-            clear_tags(trace)
-    return result
+                                progress: bool = False,
+                                workers: Optional[int] = None,
+                                use_cache: Optional[bool] = None,
+                                cache: Optional[ResultCache] = None
+                                ) -> SuiteResult:
+    """One CRI configuration (see :func:`run_criticality_suite`)."""
+    results = run_criticality_suite([(label, config)], traces,
+                                    profile_config, progress,
+                                    workers=workers, use_cache=use_cache,
+                                    cache=cache)
+    return results[label]
 
 
 def geomean(values: List[float]) -> float:

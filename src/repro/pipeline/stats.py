@@ -79,29 +79,36 @@ class SimStats:
     memory: Dict[str, float] = field(default_factory=dict)
     predictor_accuracy: float = 1.0
 
+    def per_cycle(self, value: float) -> float:
+        """``value / cycles``, 0.0 on a zero-cycle run.
+
+        The single zero-cycle convention for every derived rate (IPC,
+        occupancy, matrix activity): a run that never advanced a cycle
+        has no meaningful rates, so they all read 0.0.
+        """
+        return value / self.cycles if self.cycles else 0.0
+
     def matrix_activity(self) -> Dict[str, float]:
         """Per-cycle matrix scheduler activities for the power model."""
-        cycles = max(1, self.cycles)
         return {
-            "iq_ops": self.iq_select_ops / cycles,
-            "iq_writes": self.iq_writes / cycles,
-            "rob_ops": self.rob_check_ops / cycles,
+            "iq_ops": self.per_cycle(self.iq_select_ops),
+            "iq_writes": self.per_cycle(self.iq_writes),
+            "rob_ops": self.per_cycle(self.rob_check_ops),
             "rob_rows": (self.rob_check_rows / self.rob_check_ops
                          if self.rob_check_ops else 0.0),
-            "rob_writes": self.rob_writes / cycles,
-            "mdm_ops": self.mdm_ops / cycles,
-            "mdm_writes": self.mdm_writes / cycles,
-            "wakeup_ops": self.wakeup_ops / cycles,
-            "wakeup_writes": self.wakeup_writes / cycles,
+            "rob_writes": self.per_cycle(self.rob_writes),
+            "mdm_ops": self.per_cycle(self.mdm_ops),
+            "mdm_writes": self.per_cycle(self.mdm_writes),
+            "wakeup_ops": self.per_cycle(self.wakeup_ops),
+            "wakeup_writes": self.per_cycle(self.wakeup_writes),
         }
 
     @property
     def ipc(self) -> float:
-        return self.committed / self.cycles if self.cycles else 0.0
+        return self.per_cycle(self.committed)
 
     def occupancy(self, which: str) -> float:
-        total = getattr(self, f"{which}_occupancy_sum")
-        return total / self.cycles if self.cycles else 0.0
+        return self.per_cycle(getattr(self, f"{which}_occupancy_sum"))
 
     def stall_breakdown(self) -> Dict[str, int]:
         return {

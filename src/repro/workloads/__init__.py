@@ -2,8 +2,8 @@
 
 from . import kernels
 from .suite import (SUITE, build_program, build_suite, build_trace,
-                    kernel_names)
+                    generation_params, kernel_names)
 from .synthetic import SyntheticSpec
 
 __all__ = ["SUITE", "build_program", "build_suite", "build_trace",
-           "kernel_names", "kernels", "SyntheticSpec"]
+           "generation_params", "kernel_names", "kernels", "SyntheticSpec"]

@@ -10,10 +10,15 @@ from . import kernels
 
 def _scaled(factory: Callable[..., Program], **size_params):
     def build(scale: float = 1.0) -> Program:
-        scaled = {key: max(8, int(value * scale))
-                  for key, value in size_params.items()}
-        return factory(**scaled)
+        return factory(**scale_params(size_params, scale))
+    build.size_params = dict(size_params)
     return build
+
+
+def scale_params(size_params: Dict[str, int],
+                 scale: float) -> Dict[str, int]:
+    return {key: max(8, int(value * scale))
+            for key, value in size_params.items()}
 
 
 #: kernel name -> builder taking a ``scale`` factor.  Names carry the
@@ -42,6 +47,21 @@ def kernel_names() -> List[str]:
     return list(SUITE)
 
 
+def generation_params(name: str, scale: float = 1.0) -> Dict[str, int]:
+    """The scaled size parameters a kernel would be generated with.
+
+    This is what the result cache keys on: two traces built from the
+    same (name, params) pair are identical, so their simulation results
+    are interchangeable.
+    """
+    try:
+        build = SUITE[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown kernel {name!r}; "
+                         f"choose from {sorted(SUITE)}") from exc
+    return scale_params(getattr(build, "size_params", {}), scale)
+
+
 def build_program(name: str, scale: float = 1.0) -> Program:
     try:
         factory = SUITE[name]
@@ -65,6 +85,7 @@ def build_trace(name: str, scale: float = 1.0,
     trace = trace_program(build_program(name, scale),
                           max_instrs=10_000_000)
     trace.name = name
+    trace.scale = scale
     if use_cache:
         _trace_cache[key] = trace
     return trace

@@ -1,0 +1,23 @@
+"""Tier-1 test environment.
+
+The parallel executor path is exercised on every run: unless the
+caller pins ``REPRO_JOBS`` explicitly, harness runs fan out over two
+spawn workers, so a plain ``pytest`` invocation covers worker pickling,
+in-worker trace rebuild, and order-preserving result assembly — not
+just the in-process serial path.
+
+The on-disk result cache is redirected to a throwaway directory so
+test runs stay hermetic (no reads from, or writes to, the repo's
+``benchmarks/.cache/``); cache-specific tests pass their own roots.
+"""
+
+import atexit
+import os
+import shutil
+import tempfile
+
+os.environ.setdefault("REPRO_JOBS", "2")
+
+_CACHE_DIR = tempfile.mkdtemp(prefix="repro-test-cache-")
+os.environ.setdefault("REPRO_CACHE_DIR", _CACHE_DIR)
+atexit.register(shutil.rmtree, _CACHE_DIR, True)

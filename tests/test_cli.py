@@ -87,3 +87,29 @@ class TestNewCommands:
                      "--kernels", "x264.divint"]) == 0
         out = capsys.readouterr().out
         assert "geomean speedup vs IOC" in out and "|" in out
+
+
+class TestExecutorFlags:
+    def test_jobs_and_no_cache_parsed(self):
+        args = build_parser().parse_args(
+            ["fig14", "--jobs", "3", "--no-cache"])
+        assert args.jobs == 3 and args.no_cache
+
+    def test_jobs_default_is_env_driven(self):
+        args = build_parser().parse_args(["fig15"])
+        assert args.jobs is None and not args.no_cache
+
+    def test_bench_parser(self):
+        args = build_parser().parse_args(
+            ["bench", "fig15", "--jobs", "2", "--no-cache"])
+        assert args.figure == "fig15"
+        assert args.jobs == 2 and args.no_cache
+
+    def test_bench_smoke_under_executor(self, capsys):
+        assert main(["bench", "fig14", "--scale", "0.15",
+                     "--kernels", "gcc.mix", "--jobs", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "executor:" in out and "workers=2" in out
+        assert "wall-clock" in out

@@ -1,0 +1,216 @@
+"""Parallel executor + result cache: determinism, dedup, leak safety.
+
+The non-negotiable invariant: serial, ``workers=1``, ``workers=4``,
+and cache-hit paths all produce bit-identical ``SimStats``.  Relative
+IPC comparisons between scheduler/commit policies only hold if a
+cell's result never depends on how (or how many times) it was run.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.harness.parallel as parallel
+from repro.criticality import CriticalityTagger, clear_tags
+from repro.harness import (Job, ResultCache, SuiteResult, cache_key,
+                           jobs_for, run_config,
+                           run_config_with_criticality,
+                           run_criticality_suite, run_suite)
+from repro.isa import Trace
+from repro.pipeline import O3Core, base_config
+from repro.workloads import build_suite, build_trace, generation_params
+
+WORKLOADS = ["gcc.mix", "x264.divint", "perl.branchy"]
+SCALE = 0.25
+CONFIGS = [
+    ("age+ioc", base_config(scheduler="age", commit="ioc")),
+    ("orinoco", base_config(scheduler="orinoco", commit="orinoco")),
+]
+
+
+def fields(stats):
+    return dataclasses.asdict(stats)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_suite(SCALE, WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(traces):
+    """The seed path: a plain in-process loop, no executor, no cache."""
+    return {label: {name: O3Core(trace, config).run()
+                    for name, trace in traces.items()}
+            for label, config in CONFIGS}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_workers_bit_identical_to_serial(self, traces,
+                                             serial_reference, workers):
+        for label, config in CONFIGS:
+            result = run_config(label, config, traces,
+                                workers=workers, use_cache=False)
+            for name in WORKLOADS:
+                assert fields(result.stats[name]) == \
+                    fields(serial_reference[label][name]), \
+                    f"{label}/{name} diverged at workers={workers}"
+
+    def test_cache_hits_bit_identical(self, traces, serial_reference,
+                                      tmp_path):
+        cache = ResultCache(tmp_path)
+        for label, config in CONFIGS:
+            first = run_config(label, config, traces, workers=2,
+                               cache=cache)
+            assert not any(first.cached.values())
+            second = run_config(label, config, traces, workers=2,
+                                cache=cache)
+            assert all(second.cached.values())
+            for name in WORKLOADS:
+                assert fields(second.stats[name]) == \
+                    fields(serial_reference[label][name]), \
+                    f"{label}/{name} diverged through the cache"
+
+    def test_criticality_bit_identical_to_serial(self, traces):
+        profile_config = base_config()
+        config = base_config(scheduler="cri")
+        reference = {}
+        for name, trace in traces.items():       # the seed CRI path
+            profiler = O3Core(trace, profile_config)
+            profiler.run()
+            tagger = CriticalityTagger()
+            tagger.feed_profile(profiler.pc_l1_misses,
+                                profiler.pc_mispredicts)
+            tagger.tag(trace)
+            try:
+                reference[name] = O3Core(trace, config).run()
+            finally:
+                clear_tags(trace)
+        result = run_config_with_criticality(
+            "cri", config, traces, profile_config, workers=4,
+            use_cache=False)
+        for name in WORKLOADS:
+            assert fields(result.stats[name]) == fields(reference[name])
+
+
+class TestExecutor:
+    def test_run_suite_groups_labels_and_times_cells(self, traces):
+        jobs = (jobs_for("A", CONFIGS[0][1], traces)
+                + jobs_for("B", CONFIGS[1][1], traces))
+        results = run_suite(jobs, workers=2)
+        assert list(results) == ["A", "B"]
+        for result in results.values():
+            assert set(result.stats) == set(WORKLOADS)
+            assert set(result.timings) == set(WORKLOADS)
+            assert all(t >= 0.0 for t in result.timings.values())
+
+    def test_cached_cells_report_zero_time(self, traces, tmp_path):
+        cache = ResultCache(tmp_path)
+        label, config = CONFIGS[0]
+        run_config(label, config, traces, workers=1, cache=cache)
+        again = run_config(label, config, traces, workers=1, cache=cache)
+        assert again.cache_hits() == len(WORKLOADS)
+        assert again.sim_seconds() == 0.0
+
+    def test_profile_shared_across_dependent_configs(self, traces,
+                                                     monkeypatch):
+        original = parallel._simulate_profile
+        calls = []
+
+        def counting(task):
+            calls.append(task)
+            return original(task)
+
+        monkeypatch.setattr(parallel, "_simulate_profile", counting)
+        specs = [("cri/orinoco", base_config(scheduler="cri")),
+                 ("cri/age", base_config(scheduler="age",
+                                         criticality=True))]
+        results = run_criticality_suite(specs, traces, base_config(),
+                                        workers=1, use_cache=False)
+        # one profile per workload feeds both dependent configs
+        assert len(calls) == len(WORKLOADS)
+        assert set(results) == {"cri/orinoco", "cri/age"}
+
+    def test_tag_crash_does_not_leak_tags(self, traces, monkeypatch):
+        def exploding_tag(self, trace):
+            for count, instr in enumerate(trace):
+                if count >= 10:
+                    raise RuntimeError("tagger died mid-tag")
+                instr.critical = True
+
+        monkeypatch.setattr(CriticalityTagger, "tag", exploding_tag)
+        with pytest.raises(RuntimeError, match="mid-tag"):
+            run_config_with_criticality(
+                "cri", base_config(scheduler="cri"), traces,
+                base_config(), workers=1, use_cache=False)
+        for trace in traces.values():
+            assert not any(instr.critical for instr in trace)
+
+    def test_adhoc_traces_fall_back_to_serial(self):
+        registry_trace = build_trace("gcc.mix", SCALE)
+        adhoc = Trace(registry_trace.instrs, name="custom")
+        result = run_config("x", base_config(), {"custom": adhoc},
+                            workers=4, use_cache=False)
+        assert result.stats["custom"].committed > 0
+        assert result.cached == {"custom": False}
+
+    def test_jobs_for_rejects_non_registry_traces(self):
+        adhoc = Trace([], name="custom")
+        with pytest.raises(ValueError, match="not rebuildable"):
+            jobs_for("x", base_config(), {"custom": adhoc})
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key(base_config(), "gcc.mix", 0.5) == \
+            cache_key(base_config(), "gcc.mix", 0.5)
+
+    def test_config_field_busts_key(self):
+        assert cache_key(base_config(), "gcc.mix", 0.5) != \
+            cache_key(base_config(rob_size=128), "gcc.mix", 0.5)
+
+    def test_policy_busts_key(self):
+        assert cache_key(base_config(scheduler="age"), "gcc.mix", 0.5) != \
+            cache_key(base_config(scheduler="orinoco"), "gcc.mix", 0.5)
+
+    def test_scale_busts_key(self):
+        # REPRO_SCALE feeds straight into the generation parameters
+        assert cache_key(base_config(), "gcc.mix", 0.5) != \
+            cache_key(base_config(), "gcc.mix", 0.6)
+        assert generation_params("gcc.mix", 0.5) != \
+            generation_params("gcc.mix", 0.6)
+
+    def test_workload_busts_key(self):
+        assert cache_key(base_config(), "gcc.mix", 0.5) != \
+            cache_key(base_config(), "mcf.chase", 0.5)
+
+    def test_profile_config_busts_key(self):
+        plain = cache_key(base_config(scheduler="cri"), "gcc.mix", 0.5)
+        with_profile = cache_key(base_config(scheduler="cri"), "gcc.mix",
+                                 0.5, profile_config=base_config())
+        assert plain != with_profile
+
+
+class TestCacheStore:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(base_config(), "gcc.mix", 0.5)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_profile_roundtrip_restores_int_pcs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_profile("k", {12: 3, 40: 1}, {7: 2})
+        misses, mispredicts = cache.get_profile("k")
+        assert misses == {12: 3, 40: 1}
+        assert mispredicts == {7: 2}
+
+
+class TestSuiteResult:
+    def test_missing_workload_raises_named_keyerror(self):
+        result = SuiteResult("fig14/AGE", base_config())
+        with pytest.raises(KeyError) as excinfo:
+            result.ipc("lbm.stream")
+        message = str(excinfo.value)
+        assert "lbm.stream" in message and "fig14/AGE" in message

@@ -44,3 +44,18 @@ class TestMatrixActivity:
     def test_zero_cycles_safe(self):
         activity = SimStats().matrix_activity()
         assert all(v == 0 for v in activity.values())
+
+
+class TestZeroCycleConvention:
+    def test_every_rate_reads_zero_on_zero_cycles(self):
+        """One convention for all derived rates: 0.0 when cycles == 0."""
+        stats = SimStats(committed=50, iq_select_ops=10,
+                         rob_occupancy_sum=400)
+        assert stats.ipc == 0.0
+        assert stats.occupancy("rob") == 0.0
+        assert stats.per_cycle(123) == 0.0
+        assert all(v == 0.0 for v in stats.matrix_activity().values())
+
+    def test_per_cycle_matches_ipc(self):
+        stats = SimStats(cycles=200, committed=100)
+        assert stats.per_cycle(stats.committed) == stats.ipc == 0.5

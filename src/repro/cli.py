@@ -28,8 +28,8 @@ from .harness import (default_workers, fig14, fig15, fig16,
                       format_characterization, hbar_chart, stall_breakdown,
                       table1, table2_measured)
 from .isa import save_trace
-from .pipeline import (COMMITS, SCHEDULERS, O3Core, Timeline,
-                       make_config, simulate)
+from .pipeline import (COMMITS, SCHEDULERS, EventRecorder, O3Core,
+                       Timeline, make_config, simulate)
 from .workloads import build_trace, kernel_names
 
 
@@ -64,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeline", type=int, default=0, metavar="N",
                      help="render a pipeline timeline of the first N "
                           "instructions")
+    run.add_argument("--events", type=int, default=0, metavar="N",
+                     help="dump the first N pipeline events plus a "
+                          "per-type histogram")
 
     _add_common(sub.add_parser(
         "characterize", help="profile the workload suite"))
@@ -105,6 +108,9 @@ def _cmd_run(args) -> str:
                          commit=args.commit)
     core = O3Core(trace, config)
     timeline = Timeline.attach(core) if args.timeline else None
+    recorder = None
+    if args.events:
+        recorder = core.bus.attach(EventRecorder(limit=args.events))
     stats = core.run()
     lines = [stats.summary(),
              f"  occupancy: ROB {stats.occupancy('rob'):.1f} "
@@ -116,6 +122,8 @@ def _cmd_run(args) -> str:
         lines.append(timeline.render(count=args.timeline))
         lines.append(f"  out-of-order commits: "
                      f"{timeline.out_of_order_commits()}")
+    if recorder is not None:
+        lines.append(recorder.format())
     return "\n".join(lines)
 
 

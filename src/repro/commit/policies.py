@@ -30,6 +30,10 @@ from typing import List
 
 import numpy as np
 
+from ..pipeline.events import EventType, MatrixEvent
+
+_MATRIX = EventType.MATRIX
+
 
 class CommitPolicy(abc.ABC):
     """One commit strategy."""
@@ -92,6 +96,9 @@ def _matrix_commit(core, cycle: int) -> int:
         return 0
     core.stats.rob_check_ops += 1
     core.stats.rob_check_rows += len(candidates)
+    bus = core.bus
+    if bus.live[_MATRIX]:
+        bus.publish(MatrixEvent(cycle, "rob", "check", len(candidates)))
     grants = core.merged.select_commit(eligible, core.config.commit_width)
     committed = 0
     for entry in np.flatnonzero(grants):

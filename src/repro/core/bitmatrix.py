@@ -64,9 +64,22 @@ class BitMatrix:
         self.bits[:, col] = False
 
     def clear_columns(self, cols: Iterable[int]) -> None:
-        """Clear several columns in one cycle (§4.2 allows this)."""
-        for col in cols:
-            self.bits[:, col] = False
+        """Clear several columns in one cycle (§4.2 allows this).
+
+        A single fancy-indexed write, matching the hardware's
+        all-columns-at-once dual-supply-voltage clear; ``cols`` may be any
+        iterable (list, ndarray, generator) and may be empty.
+        """
+        cols = cols if isinstance(cols, (list, np.ndarray)) else list(cols)
+        n = len(cols)
+        if n == 0:
+            return
+        if n == 1:
+            # basic indexing: fancy-index setup costs ~5x the write for
+            # the dominant single-column case (issue clears one entry)
+            self.bits[:, cols[0]] = False
+            return
+        self.bits[:, cols] = False
 
     def set_bit(self, row: int, col: int, value: bool = True) -> None:
         self.bits[row, col] = value

@@ -148,6 +148,11 @@ class LSQUnit:
         return self.lq[entry].translated \
             and self.mdm.load_is_nonspeculative(entry)
 
+    def has_load(self, seq: int) -> bool:
+        """Whether ``seq`` still holds an LQ entry (not yet committed
+        or squashed)."""
+        return seq in self._seq_to_lq
+
     # -- store execution ----------------------------------------------------
 
     def store_resolve(self, seq: int, addr: int) -> List[int]:

@@ -3,12 +3,16 @@
 from .config import (COMMITS, CONFIG_PRESETS, SCHEDULERS, CoreConfig,
                      base_config, make_config, pro_config, ultra_config)
 from .core import DeadlockError, InflightOp, O3Core, simulate
+from .events import (EventBus, EventRecorder, EventType, StatsSubscriber)
 from .pipeview import Timeline, TimelineEntry
 from .resources import FUPool, FUType, fu_type_for
+from .stages import PipelineState
 from .stats import SimStats
 
 __all__ = ["COMMITS", "CONFIG_PRESETS", "SCHEDULERS", "CoreConfig",
            "base_config", "make_config", "pro_config", "ultra_config",
            "Timeline", "TimelineEntry",
+           "EventBus", "EventRecorder", "EventType", "StatsSubscriber",
+           "PipelineState",
            "DeadlockError", "InflightOp", "O3Core", "simulate", "FUPool",
            "FUType", "fu_type_for", "SimStats"]

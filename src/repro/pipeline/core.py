@@ -1,4 +1,4 @@
-"""Cycle-level out-of-order core.
+"""Cycle-level out-of-order core: the stage driver and its facade.
 
 The timing model replays a dynamic trace through a superscalar OoO
 pipeline (fetch → rename → dispatch → issue → execute → writeback →
@@ -13,83 +13,35 @@ commit) built around Orinoco's matrix schedulers:
 * the LQ/SQ use the memory disambiguation matrix for speculative load
   issue and early (pre-performed-older-stores) load commit.
 
+The stage logic itself lives in :mod:`repro.pipeline.stages` — one
+module per pipeline stage, each operating on the shared
+:class:`~repro.pipeline.stages.PipelineState` and publishing
+stage-boundary events on the core's
+:class:`~repro.pipeline.events.EventBus`.  :class:`O3Core` owns only
+construction, the per-cycle evaluation order, watchdogs, and a facade
+(attribute delegation to the state) that keeps the historical
+``core.window`` / ``core.retire(...)`` surface that commit policies
+and tests program against.
+
 See DESIGN.md for the substitutions relative to gem5's O3CPU.
 """
 
 from __future__ import annotations
 
-import heapq
-import random
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from ..commit import make_commit_policy
-from ..core import AgeMatrix, MergedCommitMatrix, WakeupMatrix
-from ..frontend import FetchUnit, make_predictor
-from ..isa import DynInstr, OpClass, Opcode, Trace
-from ..lsq import LSQUnit
-from ..memory import MemoryHierarchy, TLB
-from ..queues import CircularQueue, RandomQueue
-from ..rename import RenameUnit
-from ..scheduler import SelectContext, make_select_policy
+from ..isa import Trace
 from .config import CoreConfig
-from .resources import FUPool, FUType, fu_type_for
+from .events import CycleEvent, EventBus, EventType, RunEndEvent
+from .stages import (CommitStage, DispatchStage, ExecuteStage, FetchStage,
+                     InflightOp, IssueStage, MemoryStage, PipelineState,
+                     SquashUnit, WritebackStage)
 from .stats import SimStats
 
+__all__ = ["DeadlockError", "InflightOp", "O3Core", "simulate"]
 
-class InflightOp:
-    """Pipeline state of one in-flight dynamic instruction."""
-
-    __slots__ = (
-        "dyn", "mispredicted", "rename_rec", "rob_entry", "iq_entry",
-        "fu", "producers_remaining", "data_remaining", "dependents",
-        "in_iq", "issued_at", "complete_at", "completed", "performed",
-        "translated", "addr_resolved", "fault_pending", "mem_nonspec",
-        "spec_resolved", "committed", "zombie", "resources_released",
-        "prev_writer", "exec_token", "wrong_path", "dispatch_stamp",
-        "dispatched_at", "completed_at", "committed_at")
-
-    def __init__(self, dyn: DynInstr, mispredicted: bool):
-        self.dyn = dyn
-        self.mispredicted = mispredicted
-        self.rename_rec = None
-        self.rob_entry: Optional[int] = None
-        self.iq_entry: Optional[int] = None
-        self.fu = fu_type_for(dyn.op_class)
-        self.producers_remaining = 0
-        self.data_remaining = 0           # stores: value operand
-        self.dependents: List[Tuple[int, str]] = []
-        self.in_iq = False
-        self.issued_at: Optional[int] = None
-        self.complete_at: Optional[int] = None
-        self.completed = False
-        self.performed = False            # loads: data obtained
-        self.translated = False           # memory ops: address translated
-        self.addr_resolved = False        # stores: address known to LSQ
-        self.fault_pending = False
-        self.mem_nonspec = False          # loads: disambiguated
-        self.spec_resolved = False        # SPEC bit cleared in the ROB
-        self.committed = False
-        self.zombie = False
-        self.resources_released = False
-        self.prev_writer: Optional[Tuple[int, Optional[int]]] = None
-        self.exec_token = 0               # invalidates stale completions
-        self.wrong_path = False
-        self.dispatch_stamp = 0           # true dispatch (age) order
-        self.dispatched_at: Optional[int] = None
-        self.completed_at: Optional[int] = None
-        self.committed_at: Optional[int] = None
-
-    @property
-    def seq(self) -> int:
-        return self.dyn.seq
-
-    def __repr__(self) -> str:
-        return (f"<Op #{self.seq} {self.dyn.opcode.mnemonic} "
-                f"{'C' if self.completed else ''}"
-                f"{'c' if self.committed else ''}>")
+_CYCLE = EventType.CYCLE
+_RUN_END = EventType.RUN_END
 
 
 class DeadlockError(RuntimeError):
@@ -98,850 +50,143 @@ class DeadlockError(RuntimeError):
 
 class O3Core:
     """The simulated core: construct with a trace and a configuration,
-    then :meth:`run`."""
+    then :meth:`run`.
 
-    def __init__(self, trace: Trace, config: CoreConfig):
-        self.trace = trace
-        self.config = config
-        self.stats = SimStats(name=f"{trace.name}/{config.name}/"
-                                   f"{config.scheduler}+{config.commit}")
-        self.rng = random.Random(config.seed)
+    Attribute reads not found here fall through to the shared
+    :class:`PipelineState` (``core.window``, ``core.stats``,
+    ``core.lsq``, …), so external code keeps its historical view of
+    the machine; commit-policy entry points (:meth:`retire`,
+    :meth:`locally_committable`, :meth:`vb_committable`) forward to
+    the commit stage.
+    """
 
-        self.predictor = make_predictor(config.predictor)
-        self.fetch = FetchUnit(trace, self.predictor, config.fetch_width,
-                               config.redirect_penalty,
-                               model_wrong_path=config.model_wrong_path)
-        self.rename = RenameUnit(config.rf_size, config.rename_scheme)
-        self.commit_policy = make_commit_policy(config.commit)
-        self.select_policy = make_select_policy(config.scheduler)
+    def __init__(self, trace: Trace, config: CoreConfig,
+                 bus: Optional[EventBus] = None):
+        state = PipelineState(trace, config, bus)
+        # bypass __setattr__-visible delegation: plain instance attrs
+        self.state = state
+        self.bus = state.bus
 
-        # IQ: non-collapsible free list + age matrix + wakeup matrix
-        if config.iq_org == "circ":
-            self.iq_queue = CircularQueue(config.iq_size)
-        else:
-            self.iq_queue = RandomQueue(config.iq_size)
-        self.iq_age = AgeMatrix(config.iq_size)
-        self.wakeup = WakeupMatrix(config.iq_size)
-        self.iq_ops: Dict[int, InflightOp] = {}
+        squash = SquashUnit(state)
+        memory = MemoryStage(state, squash)
+        commit = CommitStage(state, squash)
+        commit.core = self
+        self.stages = (
+            commit,
+            WritebackStage(state, memory, commit, squash),
+            memory,
+            ExecuteStage(state, memory),
+        )
+        execute = self.stages[3]
+        self.stages += (
+            IssueStage(state, execute),
+            DispatchStage(state),
+            FetchStage(state),
+        )
+        self.squash_unit = squash
+        self.commit_stage = commit
+        # prebound tick methods: the driver loop calls these 7 times per
+        # cycle, so skip the per-call stage.tick attribute lookup
+        self._ticks = tuple(stage.tick for stage in self.stages)
 
-        # ROB: merged age/SPEC matrix over a non-collapsible (or, for
-        # in-order reclamation, circular) entry pool
-        if config.ooo_rob_release:
-            self.rob_queue = RandomQueue(config.rob_size)
-        else:
-            self.rob_queue = CircularQueue(config.rob_size)
-        self.merged = MergedCommitMatrix(config.rob_size)
+        # hot-path facade: commit policies read these every cycle, so
+        # mirror the state's *stable* container references (mutated in
+        # place, never rebound) as plain instance attributes — a direct
+        # dict lookup instead of the __getattr__ fallback.  Rebound
+        # fields (cycle, mem_retry, frontend_pipe, …) must NOT be
+        # mirrored; they keep reading through __getattr__.
+        for attr in ("trace", "config", "stats", "rng", "predictor",
+                     "fetch", "rename", "commit_policy", "select_policy",
+                     "iq_queue", "iq_age", "wakeup", "iq_ops",
+                     "rob_queue", "merged", "lsq", "hierarchy", "tlb",
+                     "fupool", "window", "ops", "zombies",
+                     "pending_release", "commit_candidates", "ready_set",
+                     "completion_heap", "load_waiters",
+                     "violated_load_pcs", "last_writer", "pc_l1_misses",
+                     "pc_mispredicts"):
+            setattr(self, attr, getattr(state, attr))
+        # bound stage methods: skip one dispatch layer on the per-
+        # candidate commit checks (the hottest calls in the model)
+        self.retire = commit.retire
+        self.locally_committable = commit.locally_committable
+        self.vb_committable = commit.vb_committable
 
-        self.lsq = LSQUnit(config.lq_size, config.sq_size,
-                           config.store_buffer_size, tso=config.tso,
-                           ldt_size=config.ldt_size)
-        self.hierarchy = MemoryHierarchy(config.memory)
-        self.tlb = TLB()
-        self.fupool = FUPool({
-            FUType.ALU: config.fu_alu,
-            FUType.MULDIV: config.fu_muldiv,
-            FUType.FPU: config.fu_fpu,
-            FUType.LOAD: config.fu_load,
-            FUType.STORE: config.fu_store,
-        })
-
-        # program-order window of uncommitted ops (seq -> op)
-        self.window: Dict[int, InflightOp] = {}
-        # all live ops, including committed-but-incomplete zombies
-        self.ops: Dict[int, InflightOp] = {}
-        self.zombies: Dict[int, InflightOp] = {}
-        self.pending_release: Dict[int, InflightOp] = {}
-        # completed, uncommitted ops — the commit stage's working set
-        self.commit_candidates: set = set()
-
-        self.frontend_pipe: Deque[Tuple[int, object]] = deque()
-        self.dispatch_buffer: Deque[object] = deque()
-        self.ready_set: set = set()
-        self.completion_heap: List[Tuple[int, int, int]] = []
-        self.mem_retry: List[InflightOp] = []
-        # loads parked on a forwarding store whose data is not ready yet
-        self.load_waiters: Dict[int, List[InflightOp]] = {}
-        # loads parked until some older store resolves its address
-        self.mem_wait: List[InflightOp] = []
-        # simple memory dependence predictor: load PCs that violated
-        # before stop speculating past unresolved stores (store sets)
-        self.violated_load_pcs: set = set()
-        # wrong-path instructions awaiting their synthetic operands
-        self.wp_ready: List[Tuple[int, int]] = []
-
-        self.last_writer: Dict[int, int] = {}
-        self.active_fence: Optional[int] = None
-        self.sb_busy_until = 0
-
-        self.cycle = 0
-        self.dispatch_counter = 0
-        self.retired_total = 0
-        self.skipped_faults = 0
-        self._progress_cycle = 0
-        # per-PC profile for the criticality tagger
-        self.pc_l1_misses: Dict[int, int] = {}
-        self.pc_mispredicts: Dict[int, int] = {}
-        #: optional per-instruction timeline recorder (see pipeview)
-        self.timeline = None
+    def __getattr__(self, name):
+        # facade: anything not defined on the driver reads through to
+        # the shared pipeline state (only called on lookup misses)
+        try:
+            return getattr(self.__dict__["state"], name)
+        except KeyError:
+            raise AttributeError(name) from None
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def done(self) -> bool:
-        return (self.fetch.exhausted() and not self.frontend_pipe
-                and not self.dispatch_buffer and not self.window
-                and not self.zombies and not self.pending_release)
+        s = self.state
+        return (s.fetch.exhausted() and not s.frontend_pipe
+                and not s.dispatch_buffer and not s.window
+                and not s.zombies and not s.pending_release)
 
     def run(self, max_cycles: int = 5_000_000) -> SimStats:
         while not self.done():
-            if self.cycle >= max_cycles:
+            if self.state.cycle >= max_cycles:
                 raise DeadlockError(
-                    f"cycle budget exhausted at {self.cycle}")
+                    f"cycle budget exhausted at {self.state.cycle}")
             self.step()
         self._finalize_stats()
-        return self.stats
+        return self.state.stats
 
     def step(self) -> None:
-        cycle = self.cycle
-        self.fupool.begin_cycle(cycle)
-        self._commit(cycle)
-        self._release_inorder()
-        self._writeback(cycle)
-        self._drain_store_buffer(cycle)
-        self._issue(cycle)
-        self._dispatch(cycle)
-        self._frontend(cycle)
-        self._tick_stats()
-        self.cycle += 1
-        if self.cycle - self._progress_cycle > 50_000:
+        s = self.state
+        cycle = s.cycle
+        s.fupool.begin_cycle(cycle)
+        for tick in self._ticks:
+            tick(cycle)
+        self._tick_stats(cycle)
+        s.cycle += 1
+        if s.cycle - s.progress_cycle > 50_000:
             raise DeadlockError(
-                f"no progress since cycle {self._progress_cycle}: "
-                f"window={list(self.window.values())[:8]}")
+                f"no progress since cycle {s.progress_cycle}: "
+                f"window={list(s.window.values())[:8]}")
 
     # ------------------------------------------------------------------
-    # commit
+    # commit-policy entry points.  retire / locally_committable /
+    # vb_committable are bound in __init__ (hot path); the exception
+    # flush stays a real method so tests can monkeypatch it per-core.
     # ------------------------------------------------------------------
-
-    def _commit(self, cycle: int) -> None:
-        committed = self.commit_policy.commit(self, cycle)
-        if committed:
-            self._progress_cycle = cycle
-            return
-        if not self.window:
-            return
-        self.stats.commit_stall_cycles += 1
-        # sample the §2.2 statistic to keep the simulator fast
-        if self.stats.commit_stall_cycles % 8 == 0:
-            self._account_commit_ready(weight=8)
-        head = next(iter(self.window.values()))
-        if head.fault_pending:
-            self._exception_flush(head, cycle)
-
-    def _account_commit_ready(self, weight: int = 1) -> None:
-        """§2.2 statistic: completed+safe instructions stuck behind the
-        head during commit-stall cycles (sampled, hence ``weight``)."""
-        if not self.commit_candidates:
-            return
-        completed = np.zeros(self.config.rob_size, dtype=bool)
-        head_seq = next(iter(self.window))
-        head_entry = self.window[head_seq].rob_entry
-        for seq in self.commit_candidates:
-            op = self.window.get(seq)
-            if op is not None:
-                completed[op.rob_entry] = True
-        grants = self.merged.can_commit(completed)
-        grants[head_entry] = False
-        rob_full = self.rob_queue.is_full()
-        if rob_full:
-            self.stats.rob_full_commit_stall_cycles += weight
-        if grants.any():
-            self.stats.stalled_commit_ready_cycles += weight
-            if rob_full:
-                self.stats.full_window_commit_ready_cycles += weight
-
-    def locally_committable(self, op: InflightOp, ecl: bool,
-                            ignore_global: bool = False) -> bool:
-        """Local commit conditions (completion, replay, store order)."""
-        if op.wrong_path:
-            return False
-        if op.fault_pending and not ignore_global:
-            return False
-        dyn = op.dyn
-        if dyn.is_load:
-            if not (op.translated and op.mem_nonspec):
-                return False
-            return op.completed or ecl
-        if dyn.is_store:
-            if not op.completed:
-                return False
-            if self.lsq.oldest_store_seq() != op.seq:
-                return False
-            return self.lsq.can_commit_store()
-        return op.completed
-
-    def vb_committable(self, op: InflightOp, ecl: bool) -> bool:
-        """Validation-Buffer retirement: non-speculative, possibly
-        incomplete (post-commit execution)."""
-        if op.wrong_path or op.fault_pending:
-            return False
-        dyn = op.dyn
-        if dyn.is_branch:
-            return op.completed
-        if dyn.is_load or dyn.is_store:
-            return self.locally_committable(op, ecl)
-        return True
-
-    def retire(self, op: InflightOp, cycle: int, zombie: bool = False) -> None:
-        """Remove ``op`` from the ROB and release resources per policy."""
-        op.committed = True
-        op.committed_at = cycle
-        if self.timeline is not None:
-            self.timeline.record(op)
-        del self.window[op.seq]
-        self.commit_candidates.discard(op.seq)
-        self.rob_queue.free(op.rob_entry)
-        self.merged.remove(op.rob_entry)
-        self.retired_total += 1
-        self.stats.committed += 1
-        self._progress_cycle = cycle
-        if op.dyn.is_load and not op.performed:
-            self.stats.early_committed_loads += 1
-        if zombie:
-            op.zombie = True
-            self.zombies[op.seq] = op
-            self.stats.zombie_commits += 1
-            return
-        if self.commit_policy.defer_release_inorder:
-            self.pending_release[op.seq] = op
-        elif self.commit_policy.release_at_completion:
-            # registers / LQ were released at completion; stores still
-            # need their in-order drain into the store buffer
-            self._release_resources(op)
-        else:
-            self._release_resources(op)
-
-    def _release_resources(self, op: InflightOp) -> None:
-        if not op.resources_released:
-            op.resources_released = True
-            self.rename.writer_committed(op.rename_rec)
-            if op.dyn.is_load:
-                self.lsq.commit_load(op.seq)
-            elif op.dyn.is_store:
-                self.lsq.commit_store(op.seq)
-        self._forget(op)
-
-    def _forget(self, op: InflightOp) -> None:
-        if op.completed:
-            self.ops.pop(op.seq, None)
-
-    def _release_inorder(self) -> None:
-        """Deferred releases for the ROB-entries-only-OoO policy."""
-        if not self.pending_release:
-            return
-        oldest_uncommitted = next(iter(self.window), None)
-        for seq in sorted(self.pending_release):
-            if oldest_uncommitted is not None and seq > oldest_uncommitted:
-                break
-            self._release_resources(self.pending_release.pop(seq))
 
     def _exception_flush(self, op: InflightOp, cycle: int) -> None:
-        """Precise exception: every older instruction has committed;
-        squash the faulting instruction and everything younger, then
-        resume fetch past it (the handler itself is not simulated)."""
-        self.stats.exceptions += 1
-        self.skipped_faults += 1
-        self._squash_from(op.seq, cycle, resume_after=True)
-        self._progress_cycle = cycle
-
-    # ------------------------------------------------------------------
-    # writeback
-    # ------------------------------------------------------------------
-
-    def _writeback(self, cycle: int) -> None:
-        while self.completion_heap and self.completion_heap[0][0] <= cycle:
-            _, seq, token = heapq.heappop(self.completion_heap)
-            op = self.ops.get(seq)
-            if op is None or op.exec_token != token or op.completed:
-                continue
-            if op.dyn.is_store and not op.addr_resolved:
-                # two-phase store: this event is address generation
-                self._finish_store_addr(op, cycle)
-                if not op.fault_pending and op.data_remaining == 0:
-                    self._complete(op, cycle)
-                continue
-            self._complete(op, cycle)
-
-    def _complete(self, op: InflightOp, cycle: int) -> None:
-        op.completed = True
-        op.completed_at = cycle
-        self._progress_cycle = cycle
-        if op.wrong_path:
-            return
-        self.rename.producer_completed(op.rename_rec)
-        dyn = op.dyn
-        if dyn.is_branch:
-            self._resolve_spec(op)
-            self.fetch.branch_resolved(op.seq, cycle)
-            if op.mispredicted:
-                self._squash_wrong_path()
-        elif dyn.is_load:
-            op.performed = True
-            self.lsq.load_performed(op.seq)
-            self._try_disambiguate(op)
-        # wake dependents
-        for dep_seq, kind in op.dependents:
-            dep = self.ops.get(dep_seq)
-            if dep is None:
-                continue
-            if kind == "data":
-                dep.data_remaining -= 1
-                if (dep.data_remaining == 0 and dep.addr_resolved
-                        and not dep.completed and not dep.fault_pending):
-                    self._schedule_completion(dep, cycle + 1)
-            else:
-                dep.producers_remaining -= 1
-                if (dep.producers_remaining == 0 and dep.in_iq
-                        and self.wakeup.is_ready(dep.iq_entry)):
-                    self.ready_set.add(dep.iq_entry)
-        if self.active_fence == op.seq:
-            self.active_fence = None
-        if dyn.is_store:
-            for waiter in self.load_waiters.pop(op.seq, ()):
-                if waiter.seq in self.ops:
-                    self.mem_retry.append(waiter)
-        if not op.committed:
-            self.commit_candidates.add(op.seq)
-        if self.commit_policy.release_at_completion and not op.committed:
-            self._early_release(op)
-        if op.zombie:
-            self._finish_zombie(op)
-
-    def _early_release(self, op: InflightOp) -> None:
-        """Cherry-style recycling of registers and LQ entries at
-        completion time, ahead of commit.  Stores are excluded — they
-        must drain into the store buffer in order, at commit."""
-        if op.resources_released or op.dyn.is_store:
-            return
-        op.resources_released = True
-        self.rename.writer_committed(op.rename_rec)
-        if op.dyn.is_load:
-            # the checkpoint oracle absorbs any replay risk left
-            if not op.mem_nonspec:
-                op.mem_nonspec = True
-                self._resolve_spec(op)
-            self.lsq.commit_load(op.seq)
-
-    def _finish_zombie(self, op: InflightOp) -> None:
-        """A committed-incomplete (VB/ECL) instruction finished its
-        post-commit execution: release what was withheld."""
-        self.zombies.pop(op.seq, None)
-        if not op.resources_released:
-            op.resources_released = True
-            self.rename.writer_committed(op.rename_rec)
-            if op.dyn.is_load:
-                self.lsq.commit_load(op.seq)
-        self.ops.pop(op.seq, None)
-
-    def _resolve_spec(self, op: InflightOp) -> None:
-        if not op.spec_resolved:
-            op.spec_resolved = True
-            if not op.committed and op.rob_entry is not None:
-                self.merged.resolve(op.rob_entry)
-
-    def _finish_store_addr(self, op: InflightOp, cycle: int) -> None:
-        """Store address generation finished: translate and resolve."""
-        dyn = op.dyn
-        op.translated = True
-        if dyn.fault:
-            op.fault_pending = True
-            return
-        op.addr_resolved = True
-        self.stats.mdm_ops += 1
-        violated = self.lsq.store_resolve(op.seq, dyn.addr)
-        self._resolve_spec(op)
-        if self.mem_wait:
-            self.mem_retry.extend(w for w in self.mem_wait
-                                  if w.seq in self.ops)
-            self.mem_wait = []
-        if violated:
-            self.stats.mem_order_violations += 1
-            if self.commit_policy.oracle_branches and \
-                    self.commit_policy.name.startswith("spec"):
-                # Cherry oracle: no rollback cost; replay only the loads
-                for seq in violated:
-                    self._replay_load(self.ops[seq], cycle)
-                self.stats.load_replays += len(violated)
-            else:
-                for seq in violated:
-                    victim = self.ops.get(seq)
-                    if victim is not None:
-                        self.violated_load_pcs.add(victim.dyn.pc)
-                self._squash_from(min(violated), cycle)
-        else:
-            self._recheck_loads()
-
-    def _recheck_loads(self) -> None:
-        """A store resolved: loads whose MDM row drained become
-        non-speculative."""
-        for entry in list(self.lsq.lq):
-            load = self.lsq.lq.get(entry)
-            if load is None:
-                continue
-            op = self.ops.get(load.seq)
-            if op is not None and not op.mem_nonspec:
-                self._try_disambiguate(op)
-
-    def _try_disambiguate(self, op: InflightOp) -> None:
-        if op.mem_nonspec or op.fault_pending or not op.translated:
-            return
-        if op.seq not in self.lsq._seq_to_lq:
-            return
-        if self.lsq.load_is_nonspeculative(op.seq):
-            op.mem_nonspec = True
-            self._resolve_spec(op)
-
-    def _replay_load(self, op: InflightOp, cycle: int) -> None:
-        """Re-execute a violated load in place (oracle policies only)."""
-        op.exec_token += 1
-        op.completed = False
-        op.performed = False
-        latency = self.hierarchy.load(op.dyn.addr, cycle)
-        if latency is None:
-            latency = self.config.memory.l1_latency + 2
-        heapq.heappush(self.completion_heap,
-                       (cycle + latency, op.seq, op.exec_token))
-
-    # ------------------------------------------------------------------
-    # store buffer
-    # ------------------------------------------------------------------
-
-    def _drain_store_buffer(self, cycle: int) -> None:
-        """One store per cycle leaves the SB through the L1 write port;
-        misses ride the MSHRs (write-allocate) instead of serializing."""
-        if cycle < self.sb_busy_until or not self.lsq.store_buffer:
-            return
-        head = self.lsq.store_buffer[0]
-        latency = self.hierarchy.store(head.addr, cycle)
-        if latency is None:
-            return                          # MSHRs full; retry next cycle
-        self.lsq.drain_store()
-        self.sb_busy_until = cycle + 1
-
-    # ------------------------------------------------------------------
-    # issue / execute
-    # ------------------------------------------------------------------
-
-    def _issue(self, cycle: int) -> None:
-        self._retry_memory(cycle)
-        while self.wp_ready and self.wp_ready[0][0] <= cycle:
-            _, seq = heapq.heappop(self.wp_ready)
-            op = self.ops.get(seq)
-            if op is not None and op.in_iq:
-                self.ready_set.add(op.iq_entry)
-        if not self.ready_set:
-            return
-        if len(self.ready_set) > self.config.issue_width:
-            self.stats.ready_excess_cycles += 1
-        ctx = SelectContext(
-            entries=sorted(self.ready_set),
-            fu_of=lambda e: self.iq_ops[e].fu,
-            age_of=lambda e: self.iq_ops[e].dispatch_stamp,
-            age_matrix=self.iq_age,
-            fu_available=self.fupool.availability_vector(),
-            width=self.config.issue_width,
-            rng=self.rng)
-        self.stats.iq_select_ops += 1
-        granted = self.select_policy.select(ctx)
-        for entry in granted:
-            op = self.iq_ops[entry]
-            latency = self.config.latencies.get(op.dyn.op_class, 1)
-            if not self.fupool.acquire(op.dyn.op_class, latency):
-                continue        # should not happen; be safe
-            self._leave_iq(op)
-            if not op.wrong_path:
-                self.rename.operands_read(op.rename_rec)
-            op.issued_at = cycle
-            self.stats.issued += 1
-            self._begin_execution(op, cycle)
-
-    def _leave_iq(self, op: InflightOp) -> None:
-        entry = op.iq_entry
-        # wakeup broadcast: clear this producer's column.  Dependents
-        # whose rows drain switch to waiting on the value itself (the
-        # completion counter models the latency-delayed broadcast).
-        for dep_entry in np.flatnonzero(self.wakeup.matrix.column(entry)):
-            dep = self.iq_ops.get(int(dep_entry))
-            if dep is None:
-                continue
-            dep.producers_remaining += 1
-            op.dependents.append((dep.seq, "op"))
-        self.wakeup.issue([entry])
-        self.stats.wakeup_ops += 1
-        self.iq_queue.free(entry)
-        self.iq_age.remove(entry)
-        self.ready_set.discard(entry)
-        del self.iq_ops[entry]
-        op.in_iq = False
-        op.iq_entry = None
-
-    def _begin_execution(self, op: InflightOp, cycle: int) -> None:
-        dyn = op.dyn
-        cls = dyn.op_class
-        if cls is OpClass.LOAD:
-            self._execute_load(op, cycle)
-            return
-        if cls is OpClass.STORE:
-            # address generation + translation; resolution effects land
-            # at completion in _finish_store
-            latency = 1 + self.tlb.translate(dyn.addr, dyn.fault).latency
-            self._schedule_completion(op, cycle + latency)
-            return
-        latency = self.config.latencies.get(cls, 1)
-        self._schedule_completion(op, cycle + latency)
-
-    def _execute_load(self, op: InflightOp, cycle: int) -> None:
-        dyn = op.dyn
-        translation = self.tlb.translate(dyn.addr, dyn.fault)
-        base_latency = 1 + translation.latency
-        op.translated = True
-        if translation.fault:
-            op.fault_pending = True
-            return                      # never completes; blocks at commit
-        outcome, unresolved, match_seq = self.lsq.load_lookup(dyn.seq,
-                                                              dyn.addr)
-        if unresolved.any() and (
-                self.config.mem_dep_policy == "conservative"
-                or dyn.pc in self.violated_load_pcs):
-            op.translated = False       # wait for older stores to resolve
-            self.mem_wait.append(op)
-            return
-        if outcome == "forward":
-            producer = self.ops.get(match_seq)
-            if producer is not None and not producer.completed:
-                # matching store's data is not ready: park until it is
-                # (no port is wasted on doomed retries)
-                op.translated = False
-                self.load_waiters.setdefault(match_seq, []).append(op)
-                return
-            self.lsq.load_issue(dyn.seq, dyn.addr, unresolved)
-            self.stats.mdm_writes += 1
-            self.stats.forwarded_loads += 1
-            self._schedule_completion(
-                op, cycle + base_latency + self.config.forward_latency)
-        else:
-            mem_latency = self.hierarchy.load(dyn.addr, cycle + base_latency)
-            if mem_latency is None:     # MSHRs full: retry
-                op.translated = False
-                self.mem_retry.append(op)
-                return
-            if mem_latency > self.config.memory.l1_latency:
-                self.pc_l1_misses[dyn.pc] = \
-                    self.pc_l1_misses.get(dyn.pc, 0) + 1
-            self.lsq.load_issue(dyn.seq, dyn.addr, unresolved)
-            self.stats.mdm_writes += 1
-            self._schedule_completion(op, cycle + base_latency + mem_latency)
-        self._try_disambiguate(op)
-
-    def _retry_memory(self, cycle: int) -> None:
-        if not self.mem_retry:
-            return
-        retries, self.mem_retry = self.mem_retry, []
-        for op in retries:
-            if op.seq not in self.ops:
-                continue                # squashed meanwhile
-            # peek before burning a load port on a doomed attempt
-            outcome, unresolved, match = self.lsq.load_lookup(op.seq,
-                                                              op.dyn.addr)
-            if unresolved.any() and (
-                    self.config.mem_dep_policy == "conservative"
-                    or op.dyn.pc in self.violated_load_pcs):
-                self.mem_wait.append(op)
-                continue
-            if outcome == "forward":
-                producer = self.ops.get(match)
-                if producer is not None and not producer.completed:
-                    self.load_waiters.setdefault(match, []).append(op)
-                    continue
-            latency = self.config.latencies.get(op.dyn.op_class, 1)
-            if self.fupool.acquire(op.dyn.op_class, latency):
-                self._execute_load(op, cycle)
-            else:
-                self.mem_retry.append(op)
-
-    def _schedule_completion(self, op: InflightOp, when: int) -> None:
-        op.exec_token += 1
-        op.complete_at = when
-        heapq.heappush(self.completion_heap, (when, op.seq, op.exec_token))
-
-    # ------------------------------------------------------------------
-    # dispatch
-    # ------------------------------------------------------------------
-
-    def _dispatch(self, cycle: int) -> None:
-        while self.frontend_pipe and self.frontend_pipe[0][0] <= cycle:
-            self.dispatch_buffer.append(self.frontend_pipe.popleft()[1])
-        dispatched = 0
-        while self.dispatch_buffer and dispatched < self.config.dispatch_width:
-            fetched = self.dispatch_buffer[0]
-            blocker = self._dispatch_blocker(fetched.instr)
-            if blocker is not None:
-                self._account_dispatch_stall(blocker, dispatched)
-                return
-            self.dispatch_buffer.popleft()
-            if fetched.wrong_path:
-                self._dispatch_wrong_path(fetched, cycle)
-            else:
-                self._do_dispatch(fetched, cycle)
-                self.ops[fetched.instr.seq].dispatched_at = cycle
-            dispatched += 1
-        if dispatched:
-            self._progress_cycle = cycle
-
-    def _dispatch_blocker(self, dyn: DynInstr) -> Optional[str]:
-        if self.rob_queue.is_full():
-            return "rob"
-        if self.iq_queue.is_full():
-            return "iq"
-        if dyn.seq < 0:
-            return None                  # wrong path: IQ/ROB only
-        if dyn.is_load and not self.lsq.can_allocate_load():
-            return "lq"
-        if dyn.is_store and not self.lsq.can_allocate_store():
-            return "sq"
-        if not self.rename.can_rename(dyn.dst):
-            return "reg"
-        return None
-
-    def _account_dispatch_stall(self, blocker: str, dispatched: int) -> None:
-        setattr(self.stats, f"stall_{blocker}",
-                getattr(self.stats, f"stall_{blocker}") + 1)
-        if dispatched == 0:
-            self.stats.full_window_stall_cycles += 1
-
-    def _do_dispatch(self, fetched, cycle: int) -> None:
-        dyn = fetched.instr
-        op = InflightOp(dyn, fetched.mispredicted)
-        self.dispatch_counter += 1
-        op.dispatch_stamp = self.dispatch_counter
-        op.rob_entry = self.rob_queue.allocate()
-        op.iq_entry = self.iq_queue.allocate()
-        op.in_iq = True
-        if dyn.is_load:
-            self.lsq.allocate_load(dyn.seq)
-        elif dyn.is_store:
-            self.lsq.allocate_store(dyn.seq)
-        op.rename_rec = self.rename.rename(dyn)
-
-        # dataflow: wait on in-flight producers of the source registers.
-        # Stores split their operands: address (rs1) gates issue/agen,
-        # data (rs2) only gates completion — so a store can resolve its
-        # address early, the key to precise disambiguation.
-        if dyn.is_store:
-            addr_srcs = dyn.srcs[:1]
-            data_srcs = dyn.srcs[1:]
-        else:
-            addr_srcs = dyn.srcs
-            data_srcs = ()
-        producer_entries = []
-        for src in set(addr_srcs):
-            writer = self._live_writer(src)
-            if writer is None:
-                continue
-            if writer.in_iq:
-                # positional dependence: tracked in the wakeup matrix
-                # until the producer issues (§3.4)
-                producer_entries.append(writer.iq_entry)
-            else:
-                op.producers_remaining += 1
-                writer.dependents.append((dyn.seq, "op"))
-        for src in set(data_srcs):
-            writer = self._live_writer(src)
-            if writer is not None:
-                op.data_remaining += 1
-                writer.dependents.append((dyn.seq, "data"))
-        # fences order memory operations
-        if dyn.opcode is Opcode.FENCE:
-            for other in self.window.values():
-                if other.dyn.is_mem and not other.completed:
-                    op.producers_remaining += 1
-                    other.dependents.append((dyn.seq, "op"))
-            self.active_fence = dyn.seq
-        elif dyn.is_mem and self.active_fence is not None:
-            fence = self.ops.get(self.active_fence)
-            if fence is not None and not fence.completed:
-                op.producers_remaining += 1
-                fence.dependents.append((dyn.seq, "op"))
-
-        if dyn.dst is not None:
-            op.prev_writer = (dyn.dst, self.last_writer.get(dyn.dst))
-            self.last_writer[dyn.dst] = dyn.seq
-
-        speculative = self._is_speculative_at_dispatch(dyn)
-        self.merged.dispatch(op.rob_entry, speculative)
-        op.spec_resolved = not speculative
-        critical = self.config.criticality and dyn.critical
-        self.iq_age.dispatch(op.iq_entry, critical=critical)
-        self.wakeup.dispatch(op.iq_entry, producer_entries)
-        self.stats.iq_writes += 1
-        self.stats.rob_writes += 1
-        self.stats.wakeup_writes += 1
-
-        self.window[dyn.seq] = op
-        self.ops[dyn.seq] = op
-        self.iq_ops[op.iq_entry] = op
-        if op.producers_remaining == 0 and not producer_entries:
-            self.ready_set.add(op.iq_entry)
-        self.stats.dispatched += 1
-
-    def _dispatch_wrong_path(self, fetched, cycle: int) -> None:
-        """Install a synthetic wrong-path instruction: it occupies an
-        IQ and a ROB entry and competes for issue, but never renames,
-        touches memory, or commits."""
-        op = InflightOp(fetched.instr, False)
-        op.wrong_path = True
-        self.dispatch_counter += 1
-        op.dispatch_stamp = self.dispatch_counter
-        op.rob_entry = self.rob_queue.allocate()
-        op.iq_entry = self.iq_queue.allocate()
-        op.in_iq = True
-        self.merged.dispatch(op.rob_entry, False)
-        self.iq_age.dispatch(op.iq_entry)
-        self.wakeup.dispatch(op.iq_entry, [])
-        self.window[op.seq] = op
-        self.ops[op.seq] = op
-        self.iq_ops[op.iq_entry] = op
-        # synthetic operand wait: ready 1-3 cycles after dispatch
-        heapq.heappush(self.wp_ready,
-                       (cycle + 1 + (-op.seq) % 3, op.seq))
-        self.stats.wrong_path_dispatched += 1
-
-    def _squash_wrong_path(self) -> None:
-        """The stalled branch resolved: every wrong-path instruction in
-        the machine is squashed."""
-        victims = [op for op in self.ops.values() if op.wrong_path]
-        for op in victims:
-            op.exec_token += 1
-            if op.in_iq:
-                self._leave_iq_squash(op)
-            self.rob_queue.free(op.rob_entry)
-            self.merged.remove(op.rob_entry)
-            self.window.pop(op.seq, None)
-            self.ops.pop(op.seq, None)
-        self.wp_ready = []
-        self.dispatch_buffer = deque(
-            f for f in self.dispatch_buffer if not f.wrong_path)
-        self.frontend_pipe = deque(
-            (ready, f) for ready, f in self.frontend_pipe
-            if not f.wrong_path)
-
-    def _live_writer(self, src: int) -> Optional[InflightOp]:
-        writer_seq = self.last_writer.get(src)
-        if writer_seq is None:
-            return None
-        writer = self.ops.get(writer_seq)
-        if writer is None or writer.completed:
-            return None
-        return writer
-
-    def _is_speculative_at_dispatch(self, dyn: DynInstr) -> bool:
-        if dyn.is_mem:
-            return True                       # page fault / replay traps
-        if dyn.op_class is OpClass.BRANCH:
-            return not self.commit_policy.oracle_branches
-        if dyn.opcode is Opcode.JALR:
-            return not self.commit_policy.oracle_branches
-        return False
-
-    # ------------------------------------------------------------------
-    # front end
-    # ------------------------------------------------------------------
-
-    def _frontend(self, cycle: int) -> None:
-        if len(self.dispatch_buffer) >= 2 * self.config.dispatch_width:
-            return                       # fetch-queue backpressure
-        for fetched in self.fetch.fetch(cycle):
-            if fetched.mispredicted:
-                self.stats.branch_mispredicts += 1
-                self.pc_mispredicts[fetched.instr.pc] = \
-                    self.pc_mispredicts.get(fetched.instr.pc, 0) + 1
-            self.frontend_pipe.append(
-                (cycle + self.config.frontend_depth, fetched))
-            self._progress_cycle = cycle
-
-    # ------------------------------------------------------------------
-    # squash
-    # ------------------------------------------------------------------
-
-    def _squash_from(self, seq: int, cycle: int,
-                     resume_after: bool = False) -> None:
-        """Squash ``seq`` and everything younger; refetch from ``seq``
-        (or from ``seq + 1`` when ``resume_after`` — exception skip)."""
-        self._squash_wrong_path()
-        victims = [op for op in self.ops.values()
-                   if op.seq >= seq and not op.committed]
-        victims.sort(key=lambda op: op.seq, reverse=True)
-        for op in victims:
-            op.exec_token += 1          # cancel in-flight completions
-            if op.in_iq:
-                self._leave_iq_squash(op)
-            if op.rob_entry is not None:
-                self.rob_queue.free(op.rob_entry)
-                self.merged.remove(op.rob_entry)
-            self.window.pop(op.seq, None)
-            self.ops.pop(op.seq, None)
-            self.commit_candidates.discard(op.seq)
-            self.mem_retry = [r for r in self.mem_retry
-                              if r.seq != op.seq]
-            self.mem_wait = [r for r in self.mem_wait if r.seq != op.seq]
-            self.load_waiters.pop(op.seq, None)
-            for waiters in self.load_waiters.values():
-                waiters[:] = [w for w in waiters if w.seq != op.seq]
-            if op.prev_writer is not None:
-                arch, prev = op.prev_writer
-                if self.last_writer.get(arch) == op.seq:
-                    if prev is None:
-                        del self.last_writer[arch]
-                    else:
-                        self.last_writer[arch] = prev
-            if self.active_fence == op.seq:
-                self.active_fence = None
-        self.lsq.squash(seq)
-        self.rename.squash([op.rename_rec for op in victims])
-        # drop younger not-yet-dispatched instructions
-        self.dispatch_buffer = deque(
-            f for f in self.dispatch_buffer if f.instr.seq < seq)
-        self.frontend_pipe = deque(
-            (ready, f) for ready, f in self.frontend_pipe
-            if f.instr.seq < seq)
-        resume_seq = seq if resume_after else seq - 1
-        self.fetch.squash_to(resume_seq, cycle)
-
-    def _leave_iq_squash(self, op: InflightOp) -> None:
-        entry = op.iq_entry
-        self.wakeup.squash([entry])
-        self.iq_queue.free(entry)
-        self.iq_age.remove(entry)
-        self.ready_set.discard(entry)
-        self.iq_ops.pop(entry, None)
-        op.in_iq = False
-        op.iq_entry = None
+        self.commit_stage.exception_flush(op, cycle)
 
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
 
-    def _tick_stats(self) -> None:
-        stats = self.stats
+    def _tick_stats(self, cycle: int) -> None:
+        s = self.state
+        stats = s.stats
         stats.cycles += 1
-        stats.rob_occupancy_sum += len(self.window)
-        stats.iq_occupancy_sum += self.iq_queue.occupancy()
-        stats.lq_occupancy_sum += self.lsq.lq_occupancy()
-        stats.rf_occupancy_sum += self.rename.occupancy()
+        rob = len(s.window)
+        iq = s.iq_queue.occupancy()
+        lq = s.lsq.lq_occupancy()
+        rf = s.rename.occupancy()
+        stats.rob_occupancy_sum += rob
+        stats.iq_occupancy_sum += iq
+        stats.lq_occupancy_sum += lq
+        stats.rf_occupancy_sum += rf
+        if self.bus.live[_CYCLE]:
+            self.bus.publish(CycleEvent(cycle, rob, iq, lq, rf))
 
     def _finalize_stats(self) -> None:
-        self.stats.memory = self.hierarchy.stats()
-        self.stats.predictor_accuracy = self.predictor.accuracy()
+        s = self.state
+        s.stats.memory = s.hierarchy.stats()
+        s.stats.predictor_accuracy = s.predictor.accuracy()
+        if self.bus.live[_RUN_END]:
+            self.bus.publish(RunEndEvent(s.cycle, s.stats.name,
+                                         s.stats.memory,
+                                         s.stats.predictor_accuracy))
 
 
 def simulate(trace: Trace, config: CoreConfig,

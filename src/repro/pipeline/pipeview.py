@@ -4,7 +4,12 @@ Attach a :class:`Timeline` to a core before running, then render an
 ASCII timeline of each instruction's journey through the pipeline —
 dispatch (``D``), issue (``I``), completion (``C``), commit (``R``).
 Out-of-order commit is immediately visible as ``R`` marks out of the
-staircase pattern.
+staircase pattern; squashed (wrong-path or flushed) instructions are
+rendered dimmed, with lowercase marks and an ``x`` at the squash.
+
+The timeline is an ordinary :class:`~repro.pipeline.events.EventBus`
+subscriber — it listens for commit and squash events, and the core
+pays nothing for it when it is not attached.
 
     core = O3Core(trace, config)
     timeline = Timeline.attach(core)
@@ -26,10 +31,12 @@ class TimelineEntry:
     issued: Optional[int]
     completed: Optional[int]
     committed: Optional[int]
+    squashed: bool = False
+    squashed_at: Optional[int] = None
 
 
 class Timeline:
-    """Records committed instructions' stage timestamps."""
+    """Records committed (and squashed) instructions' stage timestamps."""
 
     def __init__(self, max_entries: int = 10_000):
         self.max_entries = max_entries
@@ -38,26 +45,38 @@ class Timeline:
 
     @classmethod
     def attach(cls, core, max_entries: int = 10_000) -> "Timeline":
+        """Subscribe a fresh timeline to ``core``'s event bus."""
         timeline = cls(max_entries)
-        core.timeline = timeline
+        core.bus.attach(timeline)
         return timeline
 
-    def record(self, op) -> None:
+    # -- event handlers (EventBus.attach wires these) -------------------
+
+    def on_commit(self, ev) -> None:
+        self.record(ev.op)
+
+    def on_squash(self, ev) -> None:
+        for op in ev.ops:
+            self.record(op, squashed=True, cycle=ev.cycle)
+
+    def record(self, op, squashed: bool = False,
+               cycle: Optional[int] = None) -> None:
         if len(self.entries) >= self.max_entries:
             self.truncated = True
             return
         self.entries.append(TimelineEntry(
             seq=op.seq, text=str(op.dyn.opcode.mnemonic),
             dispatched=op.dispatched_at, issued=op.issued_at,
-            completed=op.completed_at, committed=op.committed_at))
+            completed=op.completed_at, committed=op.committed_at,
+            squashed=squashed, squashed_at=cycle))
 
     # -- analysis -------------------------------------------------------
 
     def out_of_order_commits(self) -> int:
         """Instructions that committed before an older one did."""
         count = 0
-        latest = {}
-        ordered = sorted(self.entries, key=lambda e: e.seq)
+        ordered = sorted((e for e in self.entries if not e.squashed),
+                         key=lambda e: e.seq)
         for i, entry in enumerate(ordered):
             if entry.committed is None:
                 continue
@@ -75,38 +94,55 @@ class Timeline:
                 return entry.committed - entry.dispatched
         return None
 
+    def squashed_entries(self) -> List[TimelineEntry]:
+        return [e for e in self.entries if e.squashed]
+
     # -- rendering ---------------------------------------------------------
 
-    def render(self, first: int = 0, count: int = 40,
+    def render(self, first: Optional[int] = None, count: int = 40,
                width: int = 72) -> str:
-        """ASCII timeline of ``count`` instructions starting at ``first``."""
+        """ASCII timeline of ``count`` instructions starting at ``first``.
+
+        With no ``first``, everything is eligible — including squashed
+        wrong-path instructions, whose synthetic seqs are negative.
+        """
         selected = sorted(self.entries, key=lambda e: e.seq)
-        selected = [e for e in selected if e.seq >= first][:count]
+        if first is not None:
+            selected = [e for e in selected if e.seq >= first][:count]
         if not selected:
             return "(empty timeline)"
-        start = min(e.dispatched for e in selected
-                    if e.dispatched is not None)
-        end = max(e.committed for e in selected if e.committed is not None)
+        cycles = [c for e in selected
+                  for c in (e.dispatched, e.issued, e.completed,
+                            e.committed, e.squashed_at)
+                  if c is not None]
+        if not cycles:
+            return "(empty timeline)"
+        start, end = min(cycles), max(cycles)
         span = max(1, end - start + 1)
         step = max(1, (span + width - 1) // width)
 
         def column(cycle: Optional[int]) -> Optional[int]:
             if cycle is None:
                 return None
-            return min(width - 1, (cycle - start) // step)
+            return min(width - 1, max(0, (cycle - start) // step))
 
         lines = [f"cycles {start}..{end} ({step} cycles/char)  "
-                 f"D=dispatch I=issue C=complete R=commit"]
+                 f"D=dispatch I=issue C=complete R=commit "
+                 f"(dimmed lowercase + x = squashed)"]
         for entry in selected:
             row = [" "] * width
-            for cycle, mark in ((entry.dispatched, "D"),
-                                (entry.issued, "I"),
-                                (entry.completed, "C"),
-                                (entry.committed, "R")):
+            if entry.squashed:
+                marks = ((entry.dispatched, "d"), (entry.issued, "i"),
+                         (entry.completed, "c"), (entry.squashed_at, "x"))
+            else:
+                marks = ((entry.dispatched, "D"), (entry.issued, "I"),
+                         (entry.completed, "C"), (entry.committed, "R"))
+            for cycle, mark in marks:
                 col = column(cycle)
                 if col is not None:
                     row[col] = mark
-            lines.append(f"#{entry.seq:5d} {entry.text:6s} "
+            tag = "~" if entry.squashed else " "
+            lines.append(f"#{entry.seq:5d}{tag}{entry.text:6s} "
                          f"|{''.join(row)}|")
         if self.truncated:
             lines.append(f"... truncated at {self.max_entries} entries")

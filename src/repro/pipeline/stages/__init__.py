@@ -1,0 +1,23 @@
+"""Per-stage pipeline modules behind a uniform ``tick(cycle)`` protocol.
+
+The cycle driver (:class:`~repro.pipeline.core.O3Core`) owns nothing
+but construction and the evaluation order; every stage operates on the
+shared :class:`~.state.PipelineState` and publishes stage-boundary
+events on its bus.  Swapping a stage (an alternative issue scheduler, a
+different commit strategy, a new LSQ behaviour) means replacing one
+module here without touching the driver.
+"""
+
+from .commit import CommitStage
+from .dispatch import DispatchStage
+from .execute import ExecuteStage
+from .fetch import FetchStage
+from .issue import IssueStage
+from .memory import MemoryStage
+from .squash import SquashUnit
+from .state import InflightOp, PipelineState
+from .writeback import WritebackStage
+
+__all__ = ["CommitStage", "DispatchStage", "ExecuteStage", "FetchStage",
+           "IssueStage", "MemoryStage", "SquashUnit", "InflightOp",
+           "PipelineState", "WritebackStage"]

@@ -1,0 +1,208 @@
+"""Dispatch stage: claim ROB/IQ/LSQ/RF entries, build the dataflow.
+
+Up to ``dispatch_width`` instructions per cycle leave the dispatch
+buffer, allocate their structural resources, rename, and register
+their dependences in the wakeup matrix / completion counters.  A cycle
+that cannot dispatch charges its stall to exactly one resource: the
+first exhausted one — in fixed ``rob, iq, lq, sq, reg`` priority order
+— blocking the oldest not-yet-dispatched instruction.  Even when
+several resources are exhausted at once, only that single blocker is
+accounted (no double counting).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ...isa import DynInstr, OpClass, Opcode
+from ..events import DispatchEvent, DispatchStall, EventType
+from .state import InflightOp, PipelineState
+
+_DISPATCH = EventType.DISPATCH
+_STALL = EventType.STALL
+
+
+class DispatchStage:
+    """Moves instructions from the frontend pipe into the window."""
+
+    def __init__(self, state: PipelineState):
+        self.s = state
+
+    def tick(self, cycle: int) -> None:
+        s = self.s
+        while s.frontend_pipe and s.frontend_pipe[0][0] <= cycle:
+            s.dispatch_buffer.append(s.frontend_pipe.popleft()[1])
+        dispatched = 0
+        while s.dispatch_buffer and dispatched < s.config.dispatch_width:
+            fetched = s.dispatch_buffer[0]
+            blocker = self._blocker(fetched.instr)
+            if blocker is not None:
+                self._account_stall(blocker, dispatched, cycle)
+                return
+            s.dispatch_buffer.popleft()
+            if fetched.wrong_path:
+                self._dispatch_wrong_path(fetched, cycle)
+            else:
+                self._do_dispatch(fetched, cycle)
+                s.ops[fetched.instr.seq].dispatched_at = cycle
+            dispatched += 1
+        if dispatched:
+            s.progress_cycle = cycle
+
+    # -- stall attribution ---------------------------------------------
+
+    def _blocker(self, dyn: DynInstr) -> Optional[str]:
+        """First missing resource for the oldest pending instruction,
+        in fixed priority order — the single charged blocker."""
+        s = self.s
+        if s.rob_queue.is_full():
+            return "rob"
+        if s.iq_queue.is_full():
+            return "iq"
+        if dyn.seq < 0:
+            return None                  # wrong path: IQ/ROB only
+        if dyn.is_load and not s.lsq.can_allocate_load():
+            return "lq"
+        if dyn.is_store and not s.lsq.can_allocate_store():
+            return "sq"
+        if not s.rename.can_rename(dyn.dst):
+            return "reg"
+        return None
+
+    def _account_stall(self, blocker: str, dispatched: int,
+                       cycle: int) -> None:
+        """Charge this cycle's stall once, to ``blocker`` alone."""
+        stats = self.s.stats
+        setattr(stats, f"stall_{blocker}",
+                getattr(stats, f"stall_{blocker}") + 1)
+        if dispatched == 0:
+            stats.full_window_stall_cycles += 1
+        bus = self.s.bus
+        if bus.live[_STALL]:
+            bus.publish(DispatchStall(cycle, blocker, dispatched == 0))
+
+    # -- dispatch proper -----------------------------------------------
+
+    def _do_dispatch(self, fetched, cycle: int) -> None:
+        s = self.s
+        dyn = fetched.instr
+        op = InflightOp(dyn, fetched.mispredicted)
+        s.dispatch_counter += 1
+        op.dispatch_stamp = s.dispatch_counter
+        op.rob_entry = s.rob_queue.allocate()
+        op.iq_entry = s.iq_queue.allocate()
+        op.in_iq = True
+        if dyn.is_load:
+            s.lsq.allocate_load(dyn.seq)
+        elif dyn.is_store:
+            s.lsq.allocate_store(dyn.seq)
+        op.rename_rec = s.rename.rename(dyn)
+
+        # dataflow: wait on in-flight producers of the source registers.
+        # Stores split their operands: address (rs1) gates issue/agen,
+        # data (rs2) only gates completion — so a store can resolve its
+        # address early, the key to precise disambiguation.
+        if dyn.is_store:
+            addr_srcs = dyn.srcs[:1]
+            data_srcs = dyn.srcs[1:]
+        else:
+            addr_srcs = dyn.srcs
+            data_srcs = ()
+        producer_entries = []
+        for src in set(addr_srcs):
+            writer = self._live_writer(src)
+            if writer is None:
+                continue
+            if writer.in_iq:
+                # positional dependence: tracked in the wakeup matrix
+                # until the producer issues (§3.4)
+                producer_entries.append(writer.iq_entry)
+            else:
+                op.producers_remaining += 1
+                writer.dependents.append((op, "op"))
+        for src in set(data_srcs):
+            writer = self._live_writer(src)
+            if writer is not None:
+                op.data_remaining += 1
+                writer.dependents.append((op, "data"))
+        # fences order memory operations
+        if dyn.opcode is Opcode.FENCE:
+            for other in s.window.values():
+                if other.dyn.is_mem and not other.completed:
+                    op.producers_remaining += 1
+                    other.dependents.append((op, "op"))
+            s.active_fence = dyn.seq
+        elif dyn.is_mem and s.active_fence is not None:
+            fence = s.ops.get(s.active_fence)
+            if fence is not None and not fence.completed:
+                op.producers_remaining += 1
+                fence.dependents.append((op, "op"))
+
+        if dyn.dst is not None:
+            op.prev_writer = (dyn.dst, s.last_writer.get(dyn.dst))
+            s.last_writer[dyn.dst] = dyn.seq
+
+        speculative = self._is_speculative_at_dispatch(dyn)
+        s.merged.dispatch(op.rob_entry, speculative)
+        op.spec_resolved = not speculative
+        critical = s.config.criticality and dyn.critical
+        s.iq_age.dispatch(op.iq_entry, critical=critical)
+        s.wakeup.dispatch(op.iq_entry, producer_entries)
+        s.stats.iq_writes += 1
+        s.stats.rob_writes += 1
+        s.stats.wakeup_writes += 1
+
+        s.window[dyn.seq] = op
+        s.ops[dyn.seq] = op
+        s.iq_ops[op.iq_entry] = op
+        if op.producers_remaining == 0 and not producer_entries:
+            s.ready_set.add(op.iq_entry)
+        s.stats.dispatched += 1
+        bus = s.bus
+        if bus.live[_DISPATCH]:
+            bus.publish(DispatchEvent(cycle, op, False))
+
+    def _dispatch_wrong_path(self, fetched, cycle: int) -> None:
+        """Install a synthetic wrong-path instruction: it occupies an
+        IQ and a ROB entry and competes for issue, but never renames,
+        touches memory, or commits."""
+        s = self.s
+        op = InflightOp(fetched.instr, False)
+        op.wrong_path = True
+        s.dispatch_counter += 1
+        op.dispatch_stamp = s.dispatch_counter
+        op.rob_entry = s.rob_queue.allocate()
+        op.iq_entry = s.iq_queue.allocate()
+        op.in_iq = True
+        s.merged.dispatch(op.rob_entry, False)
+        s.iq_age.dispatch(op.iq_entry)
+        s.wakeup.dispatch(op.iq_entry, [])
+        s.window[op.seq] = op
+        s.ops[op.seq] = op
+        s.iq_ops[op.iq_entry] = op
+        # synthetic operand wait: ready 1-3 cycles after dispatch
+        heapq.heappush(s.wp_ready,
+                       (cycle + 1 + (-op.seq) % 3, op.seq))
+        s.stats.wrong_path_dispatched += 1
+        bus = s.bus
+        if bus.live[_DISPATCH]:
+            bus.publish(DispatchEvent(cycle, op, True))
+
+    def _live_writer(self, src: int) -> Optional[InflightOp]:
+        writer_seq = self.s.last_writer.get(src)
+        if writer_seq is None:
+            return None
+        writer = self.s.ops.get(writer_seq)
+        if writer is None or writer.completed:
+            return None
+        return writer
+
+    def _is_speculative_at_dispatch(self, dyn: DynInstr) -> bool:
+        if dyn.is_mem:
+            return True                       # page fault / replay traps
+        if dyn.op_class is OpClass.BRANCH:
+            return not self.s.commit_policy.oracle_branches
+        if dyn.opcode is Opcode.JALR:
+            return not self.s.commit_policy.oracle_branches
+        return False

@@ -1,0 +1,40 @@
+"""Frontend stage: pull fetched instructions into the frontend pipe.
+
+The heavy lifting (branch prediction, redirect penalties, wrong-path
+synthesis) lives in :class:`~repro.frontend.FetchUnit`; this stage
+applies fetch-queue backpressure, stamps the ``frontend_depth`` delay,
+and publishes one :class:`~repro.pipeline.events.FetchEvent` per
+fetched instruction.
+"""
+
+from __future__ import annotations
+
+from ..events import EventType, FetchEvent
+from .state import PipelineState
+
+_FETCH = EventType.FETCH
+
+
+class FetchStage:
+    """Feeds the dispatch buffer through the frontend pipe."""
+
+    def __init__(self, state: PipelineState):
+        self.s = state
+
+    def tick(self, cycle: int) -> None:
+        s = self.s
+        if len(s.dispatch_buffer) >= 2 * s.config.dispatch_width:
+            return                       # fetch-queue backpressure
+        bus = s.bus
+        for fetched in s.fetch.fetch(cycle):
+            if fetched.mispredicted:
+                s.stats.branch_mispredicts += 1
+                s.pc_mispredicts[fetched.instr.pc] = \
+                    s.pc_mispredicts.get(fetched.instr.pc, 0) + 1
+            if bus.live[_FETCH]:
+                bus.publish(FetchEvent(
+                    cycle, fetched.instr.seq, fetched.instr.pc,
+                    fetched.mispredicted, fetched.wrong_path))
+            s.frontend_pipe.append(
+                (cycle + s.config.frontend_depth, fetched))
+            s.progress_cycle = cycle

@@ -1,0 +1,91 @@
+"""Issue stage: arbitrate the ready set and hand winners to execute.
+
+The configured :class:`~repro.scheduler.SelectPolicy` sees the ready
+IQ entries, the per-FU-type availability and the issue width, and
+grants up to IW instructions (the paper's Figure 13/14 policies).
+Granted instructions leave the IQ — their wakeup column broadcasts,
+converting positional dependents to completion counters — and begin
+execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ...scheduler import SelectContext
+from ..events import EventType, IssueEvent, SelectEvent
+from .execute import ExecuteStage
+from .state import InflightOp, PipelineState
+
+_ISSUE = EventType.ISSUE
+_SELECT = EventType.SELECT
+
+
+class IssueStage:
+    """Select and issue from the IQ each cycle."""
+
+    def __init__(self, state: PipelineState, execute: ExecuteStage):
+        self.s = state
+        self.execute = execute
+
+    def tick(self, cycle: int) -> None:
+        s = self.s
+        while s.wp_ready and s.wp_ready[0][0] <= cycle:
+            _, seq = heapq.heappop(s.wp_ready)
+            op = s.ops.get(seq)
+            if op is not None and op.in_iq:
+                s.ready_set.add(op.iq_entry)
+        if not s.ready_set:
+            return
+        if len(s.ready_set) > s.config.issue_width:
+            s.stats.ready_excess_cycles += 1
+        ctx = SelectContext(
+            entries=sorted(s.ready_set),
+            fu_of=lambda e: s.iq_ops[e].fu,
+            age_of=lambda e: s.iq_ops[e].dispatch_stamp,
+            age_matrix=s.iq_age,
+            fu_available=s.fupool.availability_vector(),
+            width=s.config.issue_width,
+            rng=s.rng)
+        s.stats.iq_select_ops += 1
+        bus = s.bus
+        if bus.live[_SELECT]:
+            bus.publish(SelectEvent(cycle, len(s.ready_set),
+                                    s.config.issue_width))
+        granted = s.select_policy.select(ctx)
+        for entry in granted:
+            op = s.iq_ops[entry]
+            latency = s.config.latencies.get(op.dyn.op_class, 1)
+            if not s.fupool.acquire(op.dyn.op_class, latency):
+                continue        # should not happen; be safe
+            self._leave_iq(op)
+            if not op.wrong_path:
+                s.rename.operands_read(op.rename_rec)
+            op.issued_at = cycle
+            s.stats.issued += 1
+            if bus.live[_ISSUE]:
+                bus.publish(IssueEvent(cycle, op))
+            self.execute.begin(op, cycle)
+
+    def _leave_iq(self, op: InflightOp) -> None:
+        s = self.s
+        entry = op.iq_entry
+        # wakeup broadcast: clear this producer's column.  Dependents
+        # whose rows drain switch to waiting on the value itself (the
+        # completion counter models the latency-delayed broadcast).
+        for dep_entry in np.flatnonzero(s.wakeup.matrix.column(entry)):
+            dep = s.iq_ops.get(int(dep_entry))
+            if dep is None:
+                continue
+            dep.producers_remaining += 1
+            op.dependents.append((dep, "op"))
+        s.wakeup.issue([entry])
+        s.stats.wakeup_ops += 1
+        s.iq_queue.free(entry)
+        s.iq_age.remove(entry)
+        s.ready_set.discard(entry)
+        del s.iq_ops[entry]
+        op.in_iq = False
+        op.iq_entry = None

@@ -1,0 +1,104 @@
+"""Squash unit: flush wrong-path state and roll the machine back.
+
+Not a pipeline stage (it has no ``tick``) but a service shared by
+several: writeback squashes on branch mispredicts, the memory unit on
+ordering violations, commit on precise exceptions.  Every flush
+publishes a :class:`~repro.pipeline.events.SquashEvent` naming its
+victims, so timeline viewers can render wrong-path work distinctly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..events import EventType, SquashEvent
+from .state import InflightOp, PipelineState
+
+_SQUASH = EventType.SQUASH
+
+
+class SquashUnit:
+    """Rollback machinery for mispredicts, violations and exceptions."""
+
+    def __init__(self, state: PipelineState):
+        self.s = state
+
+    def squash_wrong_path(self, cycle: int) -> None:
+        """The stalled branch resolved: every wrong-path instruction in
+        the machine is squashed."""
+        s = self.s
+        victims = [op for op in s.ops.values() if op.wrong_path]
+        for op in victims:
+            op.exec_token += 1
+            if op.in_iq:
+                self.leave_iq_squash(op)
+            s.rob_queue.free(op.rob_entry)
+            s.merged.remove(op.rob_entry)
+            s.window.pop(op.seq, None)
+            s.ops.pop(op.seq, None)
+        s.wp_ready = []
+        s.dispatch_buffer = deque(
+            f for f in s.dispatch_buffer if not f.wrong_path)
+        s.frontend_pipe = deque(
+            (ready, f) for ready, f in s.frontend_pipe
+            if not f.wrong_path)
+        if victims and s.bus.live[_SQUASH]:
+            s.bus.publish(SquashEvent(cycle, "wrong_path", tuple(victims)))
+
+    def squash_from(self, seq: int, cycle: int, resume_after: bool = False,
+                    reason: str = "mem_order") -> None:
+        """Squash ``seq`` and everything younger; refetch from ``seq``
+        (or from ``seq + 1`` when ``resume_after`` — exception skip)."""
+        s = self.s
+        self.squash_wrong_path(cycle)
+        victims = [op for op in s.ops.values()
+                   if op.seq >= seq and not op.committed]
+        victims.sort(key=lambda op: op.seq, reverse=True)
+        for op in victims:
+            op.exec_token += 1          # cancel in-flight completions
+            if op.in_iq:
+                self.leave_iq_squash(op)
+            if op.rob_entry is not None:
+                s.rob_queue.free(op.rob_entry)
+                s.merged.remove(op.rob_entry)
+            s.window.pop(op.seq, None)
+            s.ops.pop(op.seq, None)
+            s.commit_candidates.discard(op.seq)
+            s.mem_retry = [r for r in s.mem_retry if r.seq != op.seq]
+            s.mem_wait = [r for r in s.mem_wait if r.seq != op.seq]
+            s.load_waiters.pop(op.seq, None)
+            for waiters in s.load_waiters.values():
+                waiters[:] = [w for w in waiters if w.seq != op.seq]
+            if op.prev_writer is not None:
+                arch, prev = op.prev_writer
+                if s.last_writer.get(arch) == op.seq:
+                    if prev is None:
+                        del s.last_writer[arch]
+                    else:
+                        s.last_writer[arch] = prev
+            if s.active_fence == op.seq:
+                s.active_fence = None
+        s.lsq.squash(seq)
+        s.rename.squash([op.rename_rec for op in victims])
+        # drop younger not-yet-dispatched instructions
+        s.dispatch_buffer = deque(
+            f for f in s.dispatch_buffer if f.instr.seq < seq)
+        s.frontend_pipe = deque(
+            (ready, f) for ready, f in s.frontend_pipe
+            if f.instr.seq < seq)
+        resume_seq = seq if resume_after else seq - 1
+        s.fetch.squash_to(resume_seq, cycle)
+        if s.bus.live[_SQUASH]:
+            s.bus.publish(SquashEvent(cycle, reason, tuple(victims),
+                                      resume_seq))
+
+    def leave_iq_squash(self, op: InflightOp) -> None:
+        s = self.s
+        entry = op.iq_entry
+        s.wakeup.squash([entry])
+        s.iq_queue.free(entry)
+        s.iq_age.remove(entry)
+        s.ready_set.discard(entry)
+        s.iq_ops.pop(entry, None)
+        op.in_iq = False
+        op.iq_entry = None

@@ -7,6 +7,8 @@ cell's result never depends on how (or how many times) it was run.
 """
 
 import dataclasses
+import json
+import pathlib
 
 import pytest
 
@@ -45,7 +47,25 @@ def serial_reference(traces):
             for label, config in CONFIGS}
 
 
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_simstats.json"
+
+
 class TestDeterminism:
+    def test_matches_prerefactor_golden(self, serial_reference):
+        """Refactor guard: the staged core must reproduce, field by
+        field, the SimStats captured from the pre-refactor monolith
+        (tests/data/golden_simstats.json).  Combined with the
+        workers/cache tests below — which compare those paths against
+        the same serial reference — this pins all three execution paths
+        to the golden record.
+        """
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for label, _ in CONFIGS:
+            for name in WORKLOADS:
+                got = fields(serial_reference[label][name])
+                assert got == golden[label][name], \
+                    f"{label}/{name} diverged from the pre-refactor golden"
+
     @pytest.mark.parametrize("workers", [1, 4])
     def test_workers_bit_identical_to_serial(self, traces,
                                              serial_reference, workers):

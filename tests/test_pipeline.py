@@ -228,3 +228,59 @@ class TestPresetsRun:
         trace = simple_trace(30)
         stats = simulate(trace, make_config(preset))
         assert stats.committed == len(trace)
+
+
+class TestSquashRefetchWakeup:
+    """Regression: a squash must not leave stale dependent registrations
+    that wake (and double-decrement) the refetched incarnation of the
+    same seq.
+
+    The directed program interleaves same-address loads and stores with
+    div-fed store data inside a short loop.  A store resolving its
+    address finds speculatively-issued younger loads, squashes from the
+    oldest violated load, and the refetched store re-registers its data
+    dependence on the still-live div.  Before the identity check in the
+    writeback wakeup walk, the stale registration from the squashed
+    incarnation fired too, driving ``data_remaining`` to -1 so the
+    store never completed — an IOC deadlock.
+    """
+
+    def _violating_loop(self):
+        b = ProgramBuilder("squash-refetch")
+        b.li("x1", 0)
+        b.li("x2", 2)
+        b.li("x3", 0x1000)
+        b.label("loop")
+        b.ld("x10", "x3", 0)
+        b.sd("x14", "x3", 0)
+        b.ld("x12", "x3", 0)
+        b.sd("x16", "x3", 0)
+        b.div("x14", "x17", "x2")
+        b.add("x15", "x10", "x1")
+        b.sd("x11", "x3", 0)
+        b.ld("x17", "x3", 8)
+        b.add("x10", "x13", "x1")
+        b.div("x11", "x14", "x2")
+        b.addi("x1", "x1", 1)
+        b.blt("x1", "x2", "loop")
+        b.halt()
+        return trace_program(b.build())
+
+    @pytest.mark.parametrize("commit", ["ioc", "orinoco", "vb", "rob"])
+    def test_no_deadlock_after_violation_squash(self, commit):
+        trace = self._violating_loop()
+        core = O3Core(trace, base_config(commit=commit))
+        stats = core.run(max_cycles=200_000)
+        assert stats.committed == len(trace)
+        assert stats.mem_order_violations > 0, \
+            "program must actually exercise the violation squash"
+        assert not core.window and not core.ops
+
+    def test_counters_never_negative(self):
+        core = O3Core(self._violating_loop(), base_config(commit="ioc"))
+        while not core.done():
+            core.step()
+            for op in core.ops.values():
+                assert op.data_remaining >= 0, \
+                    f"stale wakeup double-decremented {op}"
+                assert op.producers_remaining >= 0

@@ -63,3 +63,48 @@ class TestTimeline:
         timeline = run_with_timeline()
         text = timeline.render(first=3, count=2)
         assert "#    3" in text and "#    5" not in text
+
+
+class TestSquashedRendering:
+    """Squashed (wrong-path) work arrives via squash events and renders
+    dimmed: lowercase marks, an ``x`` at the squash, a ``~`` tag."""
+
+    def run_with_squashes(self):
+        b = ProgramBuilder("squashy")
+        b.li("x1", 0).li("x2", 12).li("x3", 64)
+        b.label("loop")
+        b.ld("x4", "x3", 0)
+        b.add("x5", "x4", "x1")
+        b.addi("x1", "x1", 1)
+        b.blt("x1", "x2", "loop")       # mispredicts at loop exit
+        b.halt()
+        core = O3Core(trace_program(b.build()),
+                      base_config(commit="orinoco"))
+        timeline = Timeline.attach(core)
+        core.run()
+        return core, timeline
+
+    def test_squashed_ops_recorded_with_distinct_mark(self):
+        core, timeline = self.run_with_squashes()
+        assert core.stats.branch_mispredicts > 0
+        squashed = timeline.squashed_entries()
+        assert squashed, "mispredicted run must record squashed entries"
+        for entry in squashed:
+            assert entry.squashed and entry.squashed_at is not None
+            assert entry.committed is None or entry.squashed
+
+    def test_squashed_rows_render_dimmed(self):
+        _, timeline = self.run_with_squashes()
+        text = timeline.render(count=200)
+        dimmed = [line for line in text.splitlines() if "~" in line]
+        assert dimmed, "squashed rows must carry the dim tag"
+        assert any("x" in line for line in dimmed)
+        # dimmed rows never use the bright commit mark
+        for line in dimmed:
+            assert "R" not in line.split("|", 1)[-1]
+
+    def test_committed_rows_unaffected(self):
+        _, timeline = self.run_with_squashes()
+        committed = [e for e in timeline.entries if not e.squashed]
+        assert committed
+        assert all(e.committed is not None for e in committed)

@@ -1,0 +1,158 @@
+"""Engine speed benchmark: simulated kilocycles per second.
+
+Unlike the other ``bench_*`` files (pytest experiments that regenerate
+paper artefacts), this is a standalone script measuring how fast the
+*simulator itself* runs — the number the PR 4 hot-path work optimises:
+
+    PYTHONPATH=src python benchmarks/bench_speed.py [--quick] [--jobs N]
+
+Each suite kernel is simulated ``--reps`` times and the fastest rep
+kept (min-of-reps rejects background-load noise).  With ``--jobs N``
+the same cells are also fanned out over N worker processes to measure
+aggregate throughput.  Results land in ``benchmarks/out/
+BENCH_speed.json`` — per-workload kilocycles/sec, geomean, and suite
+totals — for before/after comparisons: check out the baseline tree,
+run with ``--out baseline.json``, and diff the ``summary`` blocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import math
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.pipeline import base_config, simulate           # noqa: E402
+from repro.workloads import build_trace, kernel_names      # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_speed.json"
+QUICK_KERNELS = ("mcf.chase", "lbm.stream", "perl.branchy",
+                 "gcc.mix", "xalanc.hash")
+
+
+def _run_cell(kernel: str, scale: float, scheduler: str, commit: str):
+    """One simulation cell; returns (cycles, seconds).  Top-level so
+    process-pool workers can import it."""
+    trace = build_trace(kernel, scale)
+    config = base_config(scheduler=scheduler, commit=commit)
+    start = time.perf_counter()
+    stats = simulate(trace, config)
+    return stats.cycles, time.perf_counter() - start
+
+
+def _serial_pass(kernels, scale, scheduler, commit, reps):
+    results = {}
+    for kernel in kernels:
+        best = None
+        cycles = None
+        for _ in range(reps):
+            cell_cycles, seconds = _run_cell(kernel, scale, scheduler,
+                                             commit)
+            cycles = cell_cycles
+            best = seconds if best is None else min(best, seconds)
+        results[kernel] = {
+            "cycles": cycles,
+            "seconds": round(best, 4),
+            "kcps": round(cycles / best / 1e3, 1) if best > 0 else 0.0,
+        }
+    return results
+
+
+def _parallel_pass(kernels, scale, scheduler, commit, jobs):
+    start = time.perf_counter()
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_run_cell, kernel, scale, scheduler,
+                               commit) for kernel in kernels]
+        cells = [future.result() for future in futures]
+    wall = time.perf_counter() - start
+    total_cycles = sum(cycles for cycles, _ in cells)
+    return {
+        "jobs": jobs,
+        "wall_seconds": round(wall, 4),
+        "total_cycles": total_cycles,
+        "kcps": round(total_cycles / wall / 1e3, 1) if wall > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="simulator speed benchmark (kilocycles/sec)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"subset of {len(QUICK_KERNELS)} kernels at "
+                             "scale 0.25 (CI smoke)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default 1.0, quick 0.25)")
+    parser.add_argument("--kernels", nargs="*", default=None,
+                        help="restrict to these suite kernels")
+    parser.add_argument("--scheduler", default="age")
+    parser.add_argument("--commit", default="ioc")
+    parser.add_argument("--reps", type=int, default=1,
+                        help="serial reps per cell; fastest kept")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="also measure aggregate throughput over N "
+                             "worker processes")
+    parser.add_argument("--out", default=str(OUT_PATH),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    kernels = args.kernels or (list(QUICK_KERNELS) if args.quick
+                               else kernel_names())
+    scale = args.scale if args.scale is not None else \
+        (0.25 if args.quick else 1.0)
+
+    serial = _serial_pass(kernels, scale, args.scheduler, args.commit,
+                          max(1, args.reps))
+    total_cycles = sum(row["cycles"] for row in serial.values())
+    total_seconds = sum(row["seconds"] for row in serial.values())
+    geomean = math.exp(sum(math.log(row["kcps"])
+                           for row in serial.values()) / len(serial))
+    report = {
+        "schema": "bench-speed/1",
+        "scale": scale,
+        "reps": max(1, args.reps),
+        "scheduler": args.scheduler,
+        "commit": args.commit,
+        "serial": serial,
+        "summary": {
+            "total_cycles": total_cycles,
+            "total_seconds": round(total_seconds, 4),
+            "kcps": round(total_cycles / total_seconds / 1e3, 1)
+            if total_seconds > 0 else 0.0,
+            "geomean_kcps": round(geomean, 1),
+        },
+    }
+    if args.jobs > 1:
+        report["parallel"] = _parallel_pass(kernels, scale,
+                                            args.scheduler, args.commit,
+                                            args.jobs)
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(k) for k in kernels)
+    print(f"engine speed ({args.scheduler}/{args.commit}, scale "
+          f"{scale:g}, min of {max(1, args.reps)} reps):")
+    for kernel, row in serial.items():
+        print(f"  {kernel:<{width}}  {row['cycles']:>9} cycles  "
+              f"{row['seconds']:>8.3f}s  {row['kcps']:>8.1f} kcps")
+    summary = report["summary"]
+    print(f"  {'total':<{width}}  {summary['total_cycles']:>9} cycles  "
+          f"{summary['total_seconds']:>8.3f}s  {summary['kcps']:>8.1f} "
+          f"kcps (geomean {summary['geomean_kcps']:.1f})")
+    if "parallel" in report:
+        par = report["parallel"]
+        print(f"  parallel x{par['jobs']}: {par['wall_seconds']:.3f}s "
+              f"wall, {par['kcps']:.1f} kcps aggregate")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Commands mirror the paper's evaluation artefacts:
 * ``scalability``   — the §6.4 scaling study
 * ``bench``         — executor smoke run: one figure end-to-end with
   wall-clock / cache-hit accounting
+* ``profile``       — profile the simulator itself on one kernel
+  (per-stage time, event counts, optional cProfile)
 
 Experiment commands accept ``--jobs N`` (parallel simulation workers,
 default ``$REPRO_JOBS``) and ``--no-cache`` (bypass the on-disk result
@@ -99,6 +101,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("figure", nargs="?", default="fig14",
                        choices=("fig14", "fig15", "fig16"))
     _add_common(bench)
+
+    profile = sub.add_parser(
+        "profile", help="profile the simulator itself on one kernel")
+    profile.add_argument("kernel", help="suite kernel name")
+    profile.add_argument("--preset", default="base",
+                         choices=("base", "pro", "ultra"))
+    profile.add_argument("--scheduler", default="age", choices=SCHEDULERS)
+    profile.add_argument("--commit", default="ioc", choices=COMMITS)
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("--events", action="store_true",
+                         help="count pipeline events per type (disables "
+                              "the quiescent-cycle fast-forward)")
+    profile.add_argument("--cprofile", type=int, default=0, metavar="N",
+                         help="also run cProfile and print the top N rows")
+    profile.add_argument("--sort", default="tottime",
+                         choices=("tottime", "cumulative", "ncalls"),
+                         help="cProfile sort order")
     return parser
 
 
@@ -232,6 +251,14 @@ def _dispatch(args) -> int:
         print(format_scalability())
     elif command == "bench":
         print(_cmd_bench(args))
+    elif command == "profile":
+        from .profiling import profile_run
+        report = profile_run(
+            args.kernel, scale=args.scale, preset=args.preset,
+            scheduler=args.scheduler, commit=args.commit,
+            events=args.events, cprofile_top=args.cprofile,
+            cprofile_sort=args.sort)
+        print(report.format())
     return 0
 
 

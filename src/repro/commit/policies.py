@@ -58,10 +58,14 @@ class CommitPolicy(abc.ABC):
 
     def _inorder_walk(self, core, cycle: int, committable) -> int:
         committed = 0
-        for op in list(core.window.values()):
-            if committed >= core.config.commit_width:
-                break
-            if not committable(op):
+        window = core.window
+        width = core.config.commit_width
+        # retiring the head re-exposes the next instruction as the new
+        # head, so the walk peeks the head each iteration instead of
+        # snapshotting the (possibly huge) window into a list
+        while committed < width:
+            op = next(iter(window.values()), None)
+            if op is None or not committable(op):
                 break
             core.retire(op, cycle, zombie=not op.completed)
             committed += 1
@@ -83,7 +87,8 @@ def _matrix_commit(core, cycle: int) -> int:
             if index == depth - 1:
                 horizon = seq
                 break
-    eligible = np.zeros(core.config.rob_size, dtype=bool)
+    eligible = core.rob_scratch
+    eligible[:] = False
     candidates = {}
     for seq in core.commit_candidates:
         if horizon is not None and seq > horizon:
@@ -101,9 +106,10 @@ def _matrix_commit(core, cycle: int) -> int:
         bus.publish(MatrixEvent(cycle, "rob", "check", len(candidates)))
     grants = core.merged.select_commit(eligible, core.config.commit_width)
     committed = 0
-    for entry in np.flatnonzero(grants):
-        core.retire(candidates[int(entry)], cycle)
-        committed += 1
+    if np.count_nonzero(grants):
+        for entry in np.flatnonzero(grants):
+            core.retire(candidates[int(entry)], cycle)
+            committed += 1
     return committed
 
 

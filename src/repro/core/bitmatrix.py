@@ -15,6 +15,13 @@ primitive operations are (§4):
 :class:`BitMatrix` exposes exactly these primitives (vectorised over all
 rows with numpy, mirroring the hardware's all-rows-in-parallel nature)
 so the scheduler classes above it read like the paper's figures.
+
+Hot-path contract: every read primitive takes an optional ``out``
+buffer, and the AND stage lands in a preallocated scratch plane, so a
+steady-state cycle of the simulator performs **zero numpy
+allocations** — callers that pass ``out`` (the pipeline does) get the
+answer written in place; callers that don't (tests, notebooks) get a
+fresh array as before.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ class BitMatrix:
         self.rows = rows
         self.cols = cols
         self.bits = np.zeros((rows, cols), dtype=bool)
+        # scratch plane for the AND stage of the read primitives; one
+        # allocation here buys allocation-free reads for the whole run
+        self._and_plane = np.empty((rows, cols), dtype=bool)
 
     # -- row / column writes (dispatch, resolve) -----------------------
 
@@ -47,6 +57,19 @@ class BitMatrix:
 
     def clear_row(self, row: int) -> None:
         self.bits[row, :] = False
+
+    def write_rows(self, rows, block: np.ndarray) -> None:
+        """Write several full rows in one fancy-indexed store.
+
+        Models a superscalar dispatch group's row writes landing in the
+        same cycle; ``block`` is a ``len(rows) × cols`` bit block.
+        """
+        self.bits[rows, :] = block
+
+    def write_columns(self, cols, block: np.ndarray) -> None:
+        """Write several full columns in one fancy-indexed store
+        (``block`` is ``rows × len(cols)``)."""
+        self.bits[:, cols] = block
 
     def set_column(self, col: int, mask: Optional[np.ndarray] = None) -> None:
         """Write a full column: all ones, or ``mask`` where given.
@@ -97,16 +120,23 @@ class BitMatrix:
         """Column read: one-hot column select on the RWLs (§4.2)."""
         return self.bits[:, col].copy()
 
-    def and_reduce_nor(self, vec: np.ndarray) -> np.ndarray:
+    def and_reduce_nor(self, vec: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-row ``NOR(row & vec)``: True where no activated bit is set.
 
         This is the grant computation of the classic age matrix and of
         the commit dependency check: precharge the RBLs of every row,
-        activate the RWLs selected by ``vec``, and sense.
+        activate the RWLs selected by ``vec``, and sense.  With ``out``
+        the result is written in place (no allocation).
         """
-        return ~np.any(self.bits & vec, axis=1)
+        np.logical_and(self.bits, vec, out=self._and_plane)
+        result = out if out is not None else np.empty(self.rows, dtype=bool)
+        np.any(self._and_plane, axis=1, out=result)
+        np.logical_not(result, out=result)
+        return result
 
-    def and_popcount(self, vec: np.ndarray) -> np.ndarray:
+    def and_popcount(self, vec: np.ndarray,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-row ``popcount(row & vec)``.
 
         In hardware the count is not produced digitally — the voltage
@@ -115,12 +145,21 @@ class BitMatrix:
         count; callers compare against a threshold exactly once, which
         is the single sensing the hardware performs.
         """
-        return (self.bits & vec).sum(axis=1)
+        np.logical_and(self.bits, vec, out=self._and_plane)
+        result = out if out is not None else np.empty(self.rows,
+                                                      dtype=np.intp)
+        np.add.reduce(self._and_plane, axis=1, dtype=np.intp, out=result)
+        return result
 
-    def and_popcount_below(self, vec: np.ndarray, threshold: int) -> np.ndarray:
+    def and_popcount_below(self, vec: np.ndarray, threshold: int,
+                           out: Optional[np.ndarray] = None,
+                           counts: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-row ``popcount(row & vec) < threshold`` — the bit count
         encoding sensed against a reference voltage."""
-        return self.and_popcount(vec) < threshold
+        counts = self.and_popcount(vec, out=counts)
+        result = out if out is not None else np.empty(self.rows, dtype=bool)
+        np.less(counts, threshold, out=result)
+        return result
 
     # -- bookkeeping ------------------------------------------------------
 

@@ -1,0 +1,46 @@
+"""REPRO_CHECK: self-verification mode for the incremental caches.
+
+The hot-path engine keeps derived scheduler state — the wakeup
+matrix's ready vector, the merged commit matrix's commit-eligible
+vector — *incrementally*, updating it on dispatch/issue/resolve/
+remove/squash events instead of re-deriving it from the bit matrices
+every cycle.  ``REPRO_CHECK=1`` turns on a cross-check: every cached
+answer is recomputed from first principles (the full matrix reduction)
+and compared, raising :class:`CheckError` on the first divergence.
+
+The flag is read once and latched (matrices capture it at
+construction), so the steady-state cost of an unchecked run is a single
+``bool`` attribute.  Tests use :func:`reset` + :func:`set_enabled` to
+flip the mode without re-importing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_enabled: Optional[bool] = None
+
+
+class CheckError(AssertionError):
+    """An incremental cache diverged from the full recomputation."""
+
+
+def check_enabled() -> bool:
+    """True when ``REPRO_CHECK`` is set to a non-empty, non-"0" value."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Force the mode (tests); overrides the environment."""
+    global _enabled
+    _enabled = bool(value)
+
+
+def reset() -> None:
+    """Forget the latched value; next query re-reads ``REPRO_CHECK``."""
+    global _enabled
+    _enabled = None

@@ -11,7 +11,9 @@ cell cacheable under a stable content key:
 * the workload name plus its scaled generation parameters
   (so ``REPRO_SCALE`` changes bust the key),
 * for criticality runs, the profile configuration's fingerprint,
-* the repro package version.
+* the repro package version and the engine revision
+  (:data:`repro.pipeline.ENGINE_VERSION` — bumped whenever the timing
+  model's output could change, so stale entries can never hit).
 
 Entries live as one JSON file per cell under ``benchmarks/.cache/``
 (override with ``REPRO_CACHE_DIR``).  JSON round-trips Python ints and
@@ -29,7 +31,7 @@ import os
 import pathlib
 from typing import Dict, Optional, Tuple
 
-from ..pipeline import CoreConfig, SimStats
+from ..pipeline import ENGINE_VERSION, CoreConfig, SimStats
 from ..workloads import generation_params
 
 
@@ -79,6 +81,7 @@ def cache_key(config: CoreConfig, workload: str, scale: float = 1.0,
         params = {}
     payload = {
         "version": _repro_version(),
+        "engine": ENGINE_VERSION,
         "workload": workload,
         "scale": scale,
         "params": params,

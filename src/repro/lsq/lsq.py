@@ -59,6 +59,11 @@ class LSQUnit:
         self._seq_to_lq: Dict[int, int] = {}
         self._seq_to_sq: Dict[int, int] = {}
         self.store_buffer: Deque[SBEntry] = deque()
+        # lookup scratch: the returned masks are valid until the next
+        # load_lookup call; every caller consumes (or copies, via the
+        # MDM row write) its mask before looking up again
+        self._unresolved = np.zeros(sq_size, dtype=bool)
+        self._younger = np.zeros(sq_size, dtype=bool)
         self.tso = tso
         self.lockdown = LockdownMatrix(ldt_size, lq_size) if tso else None
         self.lockdowns_taken = 0
@@ -99,9 +104,11 @@ class LSQUnit:
         the caller must still wait for that store's *data*) or
         ``"memory"`` (go to cache).  ``unresolved_mask`` marks older SQ
         stores with unknown addresses — the load's MDM row if it
-        speculates past them.
+        speculates past them.  The returned mask is scratch, valid
+        until the next ``load_lookup`` call.
         """
-        unresolved = np.zeros(self.sq_size, dtype=bool)
+        unresolved = self._unresolved
+        unresolved[:] = False
         best_match: Optional[SQEntry] = None
         for index, store in self.sq.items():
             if store.seq >= seq:
@@ -114,7 +121,8 @@ class LSQUnit:
         if best_match is not None:
             # an unresolved store between the match and the load could
             # still alias; the load must stay speculative about those
-            younger_unresolved = unresolved.copy()
+            younger_unresolved = self._younger
+            younger_unresolved[:] = unresolved
             for index, store in self.sq.items():
                 if unresolved[index] and store.seq < best_match.seq:
                     younger_unresolved[index] = False

@@ -2,7 +2,8 @@
 
 from .config import (COMMITS, CONFIG_PRESETS, SCHEDULERS, CoreConfig,
                      base_config, make_config, pro_config, ultra_config)
-from .core import DeadlockError, InflightOp, O3Core, simulate
+from .core import (ENGINE_VERSION, DeadlockError, InflightOp, O3Core,
+                   simulate)
 from .events import (EventBus, EventRecorder, EventType, StatsSubscriber)
 from .pipeview import Timeline, TimelineEntry
 from .resources import FUPool, FUType, fu_type_for
@@ -14,5 +15,6 @@ __all__ = ["COMMITS", "CONFIG_PRESETS", "SCHEDULERS", "CoreConfig",
            "Timeline", "TimelineEntry",
            "EventBus", "EventRecorder", "EventType", "StatsSubscriber",
            "PipelineState",
+           "ENGINE_VERSION",
            "DeadlockError", "InflightOp", "O3Core", "simulate", "FUPool",
            "FUType", "fu_type_for", "SimStats"]

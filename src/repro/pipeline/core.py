@@ -33,12 +33,22 @@ from typing import Optional
 from ..isa import Trace
 from .config import CoreConfig
 from .events import CycleEvent, EventBus, EventType, RunEndEvent
+from .fastforward import FastForward, enabled_by_env
 from .stages import (CommitStage, DispatchStage, ExecuteStage, FetchStage,
                      InflightOp, IssueStage, MemoryStage, PipelineState,
                      SquashUnit, WritebackStage)
 from .stats import SimStats
 
-__all__ = ["DeadlockError", "InflightOp", "O3Core", "simulate"]
+__all__ = ["ENGINE_VERSION", "DeadlockError", "InflightOp", "O3Core",
+           "simulate"]
+
+#: Engine revision token, part of every result-cache key.  Bump it
+#: whenever the timing model's *output* could change (new counters,
+#: different arbitration, changed latencies) so stale cached SimStats
+#: from an older engine can never satisfy a lookup.  Pure-performance
+#: work that is proven bit-exact (e.g. the quiescent-cycle
+#: fast-forward) still warrants a bump out of caution.
+ENGINE_VERSION = 2
 
 _CYCLE = EventType.CYCLE
 _RUN_END = EventType.RUN_END
@@ -85,6 +95,9 @@ class O3Core:
         )
         self.squash_unit = squash
         self.commit_stage = commit
+        #: quiescent-cycle fast-forward (see pipeline.fastforward);
+        #: per-instance so tests can force the exact path on one core
+        self.fast_forward_enabled = enabled_by_env()
         # prebound tick methods: the driver loop calls these 7 times per
         # cycle, so skip the per-call stage.tick attribute lookup
         self._ticks = tuple(stage.tick for stage in self.stages)
@@ -98,7 +111,8 @@ class O3Core:
         for attr in ("trace", "config", "stats", "rng", "predictor",
                      "fetch", "rename", "commit_policy", "select_policy",
                      "iq_queue", "iq_age", "wakeup", "iq_ops",
-                     "rob_queue", "merged", "lsq", "hierarchy", "tlb",
+                     "rob_queue", "merged", "rob_scratch", "lsq",
+                     "hierarchy", "tlb",
                      "fupool", "window", "ops", "zombies",
                      "pending_release", "commit_candidates", "ready_set",
                      "completion_heap", "load_waiters",
@@ -130,10 +144,13 @@ class O3Core:
                 and not s.zombies and not s.pending_release)
 
     def run(self, max_cycles: int = 5_000_000) -> SimStats:
+        ff = FastForward(self) if self.fast_forward_enabled else None
         while not self.done():
             if self.state.cycle >= max_cycles:
                 raise DeadlockError(
                     f"cycle budget exhausted at {self.state.cycle}")
+            if ff is not None and ff.advance(max_cycles):
+                continue
             self.step()
         self._finalize_stats()
         return self.state.stats

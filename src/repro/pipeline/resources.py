@@ -2,6 +2,12 @@
 
 All units are fully pipelined (accept one new operation per cycle)
 except dividers, which are occupied for the whole operation.
+
+Hot-path notes: :class:`FUType` is an ``IntEnum`` (values in the
+historical sort order of the old string values) so the pool and the
+issue policies can keep per-type state in flat lists indexed by the
+member itself — no enum hashing on the per-cycle availability and
+acquire paths.
 """
 
 from __future__ import annotations
@@ -12,12 +18,16 @@ from typing import Dict, List
 from ..isa import OpClass
 
 
-class FUType(enum.Enum):
-    ALU = "alu"
-    MULDIV = "muldiv"
-    FPU = "fpu"
-    LOAD = "load"
-    STORE = "store"
+class FUType(enum.IntEnum):
+    # values preserve the alphabetical order of the historical string
+    # values ("alu" < "fpu" < "load" < "muldiv" < "store"): MultSelect
+    # sorts its per-type arbitration by .value, and the arbitration
+    # order is behaviour (it decides rng consumption order)
+    ALU = 0
+    FPU = 1
+    LOAD = 2
+    MULDIV = 3
+    STORE = 4
 
 
 _CLASS_TO_FU = {
@@ -42,38 +52,53 @@ def fu_type_for(op_class: OpClass) -> FUType:
     return _CLASS_TO_FU[op_class]
 
 
+def is_unpipelined(op_class: OpClass) -> bool:
+    return op_class in _UNPIPELINED
+
+
 class FUPool:
     """Per-type unit availability within a cycle and across cycles."""
 
     def __init__(self, counts: Dict[FUType, int]):
         self.counts = dict(counts)
+        self._counts: List[int] = [0] * len(FUType)
+        for fu, n in counts.items():
+            self._counts[fu] = n
         # busy-until cycles for unpipelined units, per type
-        self._busy_until: Dict[FUType, List[int]] = {
-            fu: [] for fu in self.counts}
-        self._issued_this_cycle: Dict[FUType, int] = {}
+        self._busy_until: List[List[int]] = [[] for _ in FUType]
+        self._issued_this_cycle: List[int] = [0] * len(FUType)
         self._cycle = -1
 
     def begin_cycle(self, cycle: int) -> None:
         self._cycle = cycle
-        self._issued_this_cycle = {fu: 0 for fu in self.counts}
-        for fu, busy in self._busy_until.items():
-            self._busy_until[fu] = [until for until in busy if until > cycle]
+        issued = self._issued_this_cycle
+        for fu in range(len(issued)):
+            issued[fu] = 0
+        for busy in self._busy_until:
+            # almost always empty (only in-flight divides park here)
+            if busy:
+                busy[:] = [until for until in busy if until > cycle]
 
     def available(self, fu: FUType) -> int:
         """Units of this type that can accept an operation this cycle."""
-        total = self.counts.get(fu, 0)
         blocked = len(self._busy_until[fu]) + self._issued_this_cycle[fu]
-        return max(0, total - blocked)
+        return max(0, self._counts[fu] - blocked)
 
-    def acquire(self, op_class: OpClass, latency: int) -> bool:
-        """Claim a unit for an op of ``op_class``; False when none free."""
-        fu = fu_type_for(op_class)
+    def acquire_fu(self, fu: FUType, latency: int,
+                   unpipelined: bool) -> bool:
+        """Claim a pre-resolved unit type; False when none free."""
         if self.available(fu) <= 0:
             return False
         self._issued_this_cycle[fu] += 1
-        if op_class in _UNPIPELINED:
+        if unpipelined:
             self._busy_until[fu].append(self._cycle + latency)
         return True
 
-    def availability_vector(self) -> Dict[FUType, int]:
-        return {fu: self.available(fu) for fu in self.counts}
+    def acquire(self, op_class: OpClass, latency: int) -> bool:
+        """Claim a unit for an op of ``op_class``; False when none free."""
+        return self.acquire_fu(fu_type_for(op_class), latency,
+                               op_class in _UNPIPELINED)
+
+    def availability_vector(self) -> List[int]:
+        """Per-type free-unit counts, indexed by :class:`FUType`."""
+        return [self.available(fu) for fu in FUType]

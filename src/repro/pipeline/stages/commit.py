@@ -31,6 +31,7 @@ class CommitStage:
     def __init__(self, state: PipelineState, squash: SquashUnit):
         self.s = state
         self.squash = squash
+        self._grants = np.empty(state.config.rob_size, dtype=bool)
         #: the O3Core facade, wired by the driver after construction;
         #: commit policies and the exception flush are invoked through
         #: it so monkeypatched cores keep intercepting them.
@@ -66,14 +67,15 @@ class CommitStage:
         s = self.s
         if not s.commit_candidates:
             return None
-        completed = np.zeros(s.config.rob_size, dtype=bool)
+        completed = s.rob_scratch
+        completed[:] = False
         head_seq = next(iter(s.window))
         head_entry = s.window[head_seq].rob_entry
         for seq in s.commit_candidates:
             op = s.window.get(seq)
             if op is not None:
                 completed[op.rob_entry] = True
-        grants = s.merged.can_commit(completed)
+        grants = s.merged.can_commit(completed, out=self._grants)
         grants[head_entry] = False
         rob_full = s.rob_queue.is_full()
         if rob_full:

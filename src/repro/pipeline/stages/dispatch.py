@@ -28,18 +28,29 @@ class DispatchStage:
 
     def __init__(self, state: PipelineState):
         self.s = state
+        # per-cycle group accumulators: the matrices are written once
+        # per cycle with batched group stores instead of per-op writes
+        self._g_rob: list = []
+        self._g_spec: list = []
+        self._g_iq: list = []
+        self._g_crit: list = []
+        self._g_prods: list = []
 
     def tick(self, cycle: int) -> None:
         s = self.s
         while s.frontend_pipe and s.frontend_pipe[0][0] <= cycle:
             s.dispatch_buffer.append(s.frontend_pipe.popleft()[1])
+        if not s.dispatch_buffer:
+            return
         dispatched = 0
+        stalled = False
         while s.dispatch_buffer and dispatched < s.config.dispatch_width:
             fetched = s.dispatch_buffer[0]
             blocker = self._blocker(fetched.instr)
             if blocker is not None:
                 self._account_stall(blocker, dispatched, cycle)
-                return
+                stalled = True
+                break
             s.dispatch_buffer.popleft()
             if fetched.wrong_path:
                 self._dispatch_wrong_path(fetched, cycle)
@@ -48,7 +59,22 @@ class DispatchStage:
                 s.ops[fetched.instr.seq].dispatched_at = cycle
             dispatched += 1
         if dispatched:
+            self._flush_group()
+        if dispatched and not stalled:
             s.progress_cycle = cycle
+
+    def _flush_group(self) -> None:
+        """Land this cycle's dispatch group in the matrices: one batched
+        write per structure (oldest group member first)."""
+        s = self.s
+        s.merged.dispatch_group(self._g_rob, self._g_spec)
+        s.iq_age.dispatch_group(self._g_iq, self._g_crit)
+        s.wakeup.dispatch_group(self._g_iq, self._g_prods)
+        self._g_rob.clear()
+        self._g_spec.clear()
+        self._g_iq.clear()
+        self._g_crit.clear()
+        self._g_prods.clear()
 
     # -- stall attribution ---------------------------------------------
 
@@ -88,6 +114,7 @@ class DispatchStage:
         s = self.s
         dyn = fetched.instr
         op = InflightOp(dyn, fetched.mispredicted)
+        op.latency = s.config.latencies.get(dyn.op_class, 1)
         s.dispatch_counter += 1
         op.dispatch_stamp = s.dispatch_counter
         op.rob_entry = s.rob_queue.allocate()
@@ -144,11 +171,13 @@ class DispatchStage:
             s.last_writer[dyn.dst] = dyn.seq
 
         speculative = self._is_speculative_at_dispatch(dyn)
-        s.merged.dispatch(op.rob_entry, speculative)
+        self._g_rob.append(op.rob_entry)
+        self._g_spec.append(speculative)
         op.spec_resolved = not speculative
         critical = s.config.criticality and dyn.critical
-        s.iq_age.dispatch(op.iq_entry, critical=critical)
-        s.wakeup.dispatch(op.iq_entry, producer_entries)
+        self._g_iq.append(op.iq_entry)
+        self._g_crit.append(critical)
+        self._g_prods.append(producer_entries)
         s.stats.iq_writes += 1
         s.stats.rob_writes += 1
         s.stats.wakeup_writes += 1
@@ -169,15 +198,18 @@ class DispatchStage:
         touches memory, or commits."""
         s = self.s
         op = InflightOp(fetched.instr, False)
+        op.latency = s.config.latencies.get(fetched.instr.op_class, 1)
         op.wrong_path = True
         s.dispatch_counter += 1
         op.dispatch_stamp = s.dispatch_counter
         op.rob_entry = s.rob_queue.allocate()
         op.iq_entry = s.iq_queue.allocate()
         op.in_iq = True
-        s.merged.dispatch(op.rob_entry, False)
-        s.iq_age.dispatch(op.iq_entry)
-        s.wakeup.dispatch(op.iq_entry, [])
+        self._g_rob.append(op.rob_entry)
+        self._g_spec.append(False)
+        self._g_iq.append(op.iq_entry)
+        self._g_crit.append(False)
+        self._g_prods.append(())
         s.window[op.seq] = op
         s.ops[op.seq] = op
         s.iq_ops[op.iq_entry] = op

@@ -47,8 +47,7 @@ class ExecuteStage:
                 if producer is not None and not producer.completed:
                     s.load_waiters.setdefault(match, []).append(op)
                     continue
-            latency = s.config.latencies.get(op.dyn.op_class, 1)
-            if s.fupool.acquire(op.dyn.op_class, latency):
+            if s.fupool.acquire_fu(op.fu, op.latency, op.unpipelined):
                 self.execute_load(op, cycle)
             else:
                 s.mem_retry.append(op)
@@ -66,8 +65,7 @@ class ExecuteStage:
             latency = 1 + s.tlb.translate(dyn.addr, dyn.fault).latency
             s.schedule_completion(op, cycle + latency)
             return
-        latency = s.config.latencies.get(cls, 1)
-        s.schedule_completion(op, cycle + latency)
+        s.schedule_completion(op, cycle + op.latency)
 
     def execute_load(self, op: InflightOp, cycle: int) -> None:
         s = self.s

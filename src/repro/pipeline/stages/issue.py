@@ -6,11 +6,20 @@ grants up to IW instructions (the paper's Figure 13/14 policies).
 Granted instructions leave the IQ — their wakeup column broadcasts,
 converting positional dependents to completion counters — and begin
 execution.
+
+The wakeup broadcast is batched: one column gather covers every
+instruction issued this cycle (a dependent waiting on several of them
+is walked once, not once per producer), and all issued columns clear
+in a single fancy-indexed store.  The conversion hand-off is one-way —
+this stage only *increments* completion counters; the writeback walk
+(:meth:`WritebackStage.complete`) is the sole waker that decrements
+them and re-checks readiness, so no dependent is ever woken twice.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import List
 
 import numpy as np
 
@@ -29,6 +38,12 @@ class IssueStage:
     def __init__(self, state: PipelineState, execute: ExecuteStage):
         self.s = state
         self.execute = execute
+        self._issued: List[InflightOp] = []
+        # prebound context accessors (iq_ops is mutated in place, never
+        # rebound, so closing over it once is safe)
+        iq_ops = state.iq_ops
+        self._fu_of = lambda entry: iq_ops[entry].fu
+        self._age_of = lambda entry: iq_ops[entry].dispatch_stamp
 
     def tick(self, cycle: int) -> None:
         s = self.s
@@ -43,8 +58,8 @@ class IssueStage:
             s.stats.ready_excess_cycles += 1
         ctx = SelectContext(
             entries=sorted(s.ready_set),
-            fu_of=lambda e: s.iq_ops[e].fu,
-            age_of=lambda e: s.iq_ops[e].dispatch_stamp,
+            fu_of=self._fu_of,
+            age_of=self._age_of,
             age_matrix=s.iq_age,
             fu_available=s.fupool.availability_vector(),
             width=s.config.issue_width,
@@ -55,12 +70,18 @@ class IssueStage:
             bus.publish(SelectEvent(cycle, len(s.ready_set),
                                     s.config.issue_width))
         granted = s.select_policy.select(ctx)
+        issued = self._issued
+        issued.clear()
+        fupool = s.fupool
         for entry in granted:
             op = s.iq_ops[entry]
-            latency = s.config.latencies.get(op.dyn.op_class, 1)
-            if not s.fupool.acquire(op.dyn.op_class, latency):
+            if not fupool.acquire_fu(op.fu, op.latency, op.unpipelined):
                 continue        # should not happen; be safe
-            self._leave_iq(op)
+            issued.append(op)
+        if not issued:
+            return
+        self._leave_iq(issued)
+        for op in issued:
             if not op.wrong_path:
                 s.rename.operands_read(op.rename_rec)
             op.issued_at = cycle
@@ -68,24 +89,45 @@ class IssueStage:
             if bus.live[_ISSUE]:
                 bus.publish(IssueEvent(cycle, op))
             self.execute.begin(op, cycle)
+        issued.clear()
 
-    def _leave_iq(self, op: InflightOp) -> None:
+    def _leave_iq(self, issued: List[InflightOp]) -> None:
         s = self.s
-        entry = op.iq_entry
-        # wakeup broadcast: clear this producer's column.  Dependents
-        # whose rows drain switch to waiting on the value itself (the
-        # completion counter models the latency-delayed broadcast).
-        for dep_entry in np.flatnonzero(s.wakeup.matrix.column(entry)):
-            dep = s.iq_ops.get(int(dep_entry))
-            if dep is None:
-                continue
-            dep.producers_remaining += 1
-            op.dependents.append((dep, "op"))
-        s.wakeup.issue([entry])
-        s.stats.wakeup_ops += 1
-        s.iq_queue.free(entry)
-        s.iq_age.remove(entry)
-        s.ready_set.discard(entry)
-        del s.iq_ops[entry]
-        op.in_iq = False
-        op.iq_entry = None
+        iq_ops = s.iq_ops
+        bits = s.wakeup.matrix.bits
+        # wakeup broadcast: clear the issued producers' columns.
+        # Dependents whose rows drain switch to waiting on the value
+        # itself (the completion counter models the latency-delayed
+        # broadcast).  One batched column gather walks every dependent
+        # of the whole issue group at once.
+        entries = [op.iq_entry for op in issued]
+        if len(issued) == 1:
+            op = issued[0]
+            for dep_entry in np.flatnonzero(bits[:, entries[0]]):
+                dep = iq_ops.get(int(dep_entry))
+                if dep is None:
+                    continue
+                dep.producers_remaining += 1
+                op.dependents.append((dep, "op"))
+        else:
+            block = bits[:, entries]
+            for dep_entry in np.flatnonzero(block.any(axis=1)):
+                d = int(dep_entry)
+                dep = iq_ops.get(d)
+                if dep is None:
+                    continue
+                row = block[d]
+                for j, op in enumerate(issued):
+                    if row[j]:
+                        dep.producers_remaining += 1
+                        op.dependents.append((dep, "op"))
+        s.wakeup.issue(entries)
+        s.stats.wakeup_ops += len(issued)
+        for op in issued:
+            entry = op.iq_entry
+            s.iq_queue.free(entry)
+            s.iq_age.remove(entry)
+            s.ready_set.discard(entry)
+            del iq_ops[entry]
+            op.in_iq = False
+            op.iq_entry = None

@@ -108,6 +108,7 @@ class MemoryStage:
         op.exec_token += 1
         op.completed = False
         op.performed = False
+        s.rename.producer_replayed(op.rename_rec)
         latency = s.hierarchy.load(op.dyn.addr, cycle)
         if latency is None:
             latency = s.config.memory.l1_latency + 2

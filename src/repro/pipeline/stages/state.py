@@ -13,6 +13,8 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ...core import AgeMatrix, MergedCommitMatrix, WakeupMatrix
 from ...frontend import FetchUnit, make_predictor
 from ...isa import DynInstr, Trace
@@ -23,7 +25,7 @@ from ...rename import RenameUnit
 from ...scheduler import make_select_policy
 from ..config import CoreConfig
 from ..events import EventBus
-from ..resources import FUPool, FUType, fu_type_for
+from ..resources import FUPool, FUType, fu_type_for, is_unpipelined
 from ..stats import SimStats
 
 
@@ -32,7 +34,8 @@ class InflightOp:
 
     __slots__ = (
         "dyn", "mispredicted", "rename_rec", "rob_entry", "iq_entry",
-        "fu", "producers_remaining", "data_remaining", "dependents",
+        "fu", "latency", "unpipelined",
+        "producers_remaining", "data_remaining", "dependents",
         "in_iq", "issued_at", "complete_at", "completed", "performed",
         "translated", "addr_resolved", "fault_pending", "mem_nonspec",
         "spec_resolved", "committed", "zombie", "resources_released",
@@ -46,6 +49,10 @@ class InflightOp:
         self.rob_entry: Optional[int] = None
         self.iq_entry: Optional[int] = None
         self.fu = fu_type_for(dyn.op_class)
+        #: FU latency under the dispatching core's config (stamped at
+        #: dispatch; default for ops built outside a pipeline)
+        self.latency = 1
+        self.unpipelined = is_unpipelined(dyn.op_class)
         self.producers_remaining = 0
         self.data_remaining = 0           # stores: value operand
         self.dependents: List[Tuple["InflightOp", str]] = []
@@ -120,6 +127,10 @@ class PipelineState:
         else:
             self.rob_queue = CircularQueue(config.rob_size)
         self.merged = MergedCommitMatrix(config.rob_size)
+        # ROB-sized bool scratch shared by the per-cycle eligibility
+        # gathers (commit policies, stall accounting) — never held
+        # across a cycle
+        self.rob_scratch = np.zeros(config.rob_size, dtype=bool)
 
         self.lsq = LSQUnit(config.lq_size, config.sq_size,
                            config.store_buffer_size, tso=config.tso,

@@ -33,6 +33,12 @@ class RSTEntry:
     overwriter_committed: bool = False
     #: still the live architectural mapping (not yet overwritten)
     architectural: bool = True
+    #: seq of the producing instruction — producer-side events are
+    #: ignored unless they come from the current owner, because an
+    #: oracle load replay can write back after its register was
+    #: reclaimed (overwriter committed, readers drained) and even
+    #: re-allocated to a younger instruction
+    producer_seq: int = -1
 
 
 @dataclass
@@ -111,7 +117,7 @@ class RenameUnit:
             prev_phys = self.rat[instr.dst]
             self.rst[prev_phys].architectural = False
             self.rat[instr.dst] = phys_dst
-            self.rst[phys_dst] = RSTEntry()
+            self.rst[phys_dst] = RSTEntry(producer_seq=instr.seq)
         return RenameRecord(instr.seq, instr.dst, phys_dst, prev_phys,
                             srcs_phys)
 
@@ -131,9 +137,24 @@ class RenameUnit:
 
     def producer_completed(self, record: RenameRecord) -> None:
         """The producing instruction wrote back its value."""
-        if record.phys_dst is not None:
-            self.rst[record.phys_dst].producer_done = True
-            self._maybe_free(record.phys_dst)
+        if record.phys_dst is None:
+            return
+        entry = self.rst.get(record.phys_dst)
+        if entry is None or entry.producer_seq != record.seq:
+            # already reclaimed (oracle replay writing back late)
+            return
+        entry.producer_done = True
+        self._maybe_free(record.phys_dst)
+
+    def producer_replayed(self, record: RenameRecord) -> None:
+        """The producer was re-executed in place (oracle load replay):
+        its result is in flight again, so the destination must not be
+        reclaimed until the replay writes back."""
+        if record.phys_dst is None:
+            return
+        entry = self.rst.get(record.phys_dst)
+        if entry is not None and entry.producer_seq == record.seq:
+            entry.producer_done = False
 
     def writer_committed(self, record: RenameRecord) -> None:
         """The instruction committed; reclaim per the active scheme."""

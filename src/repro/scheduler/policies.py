@@ -46,18 +46,29 @@ class SelectContext:
 
     def __init__(self, entries: Sequence[int], fu_of: Callable[[int], FUType],
                  age_of: Callable[[int], int], age_matrix: AgeMatrix,
-                 fu_available: Dict[FUType, int], width: int,
-                 rng: random.Random):
+                 fu_available, width: int, rng: random.Random):
         self.entries = list(entries)
         self.fu_of = fu_of
         self.age_of = age_of
         self.age_matrix = age_matrix
-        self.fu_available = dict(fu_available)
+        # flat per-type list indexed by FUType (what FUPool hands over);
+        # a dict (convenient in tests) is normalised here once.  The
+        # policies never mutate it — they copy before decrementing — so
+        # hold the reference
+        if isinstance(fu_available, dict):
+            vec = [0] * len(FUType)
+            for fu, count in fu_available.items():
+                vec[fu] = count
+            fu_available = vec
+        self.fu_available = fu_available
         self.width = width
         self.rng = rng
 
-    def request_mask(self, entries: Sequence[int]) -> np.ndarray:
-        mask = np.zeros(self.age_matrix.size, dtype=bool)
+    def request_mask(self, entries: Sequence[int],
+                     out: np.ndarray = None) -> np.ndarray:
+        mask = out if out is not None else np.zeros(self.age_matrix.size,
+                                                    dtype=bool)
+        mask[:] = False
         for entry in entries:
             mask[entry] = True
         return mask
@@ -68,6 +79,19 @@ class SelectPolicy(abc.ABC):
 
     name = "abstract"
 
+    def __init__(self) -> None:
+        # per-policy-instance select scratch (one mask + one grant
+        # vector, sized to the IQ on first use) so steady-state
+        # selection allocates nothing
+        self._mask: np.ndarray = None
+        self._grant: np.ndarray = None
+
+    def _buffers(self, size: int):
+        if self._mask is None or len(self._mask) != size:
+            self._mask = np.empty(size, dtype=bool)
+            self._grant = np.empty(size, dtype=bool)
+        return self._mask, self._grant
+
     @abc.abstractmethod
     def select(self, ctx: SelectContext) -> List[int]:
         """Return the granted IQ entries (<= width, FU-feasible)."""
@@ -75,7 +99,7 @@ class SelectPolicy(abc.ABC):
     def _fill_greedy(self, ctx: SelectContext, granted: List[int],
                      candidates: Sequence[int]) -> List[int]:
         """Grant candidates in the given order subject to constraints."""
-        avail = dict(ctx.fu_available)
+        avail = list(ctx.fu_available)
         for entry in granted:
             avail[ctx.fu_of(entry)] -= 1
         for entry in candidates:
@@ -84,7 +108,7 @@ class SelectPolicy(abc.ABC):
             if entry in granted:
                 continue
             fu = ctx.fu_of(entry)
-            if avail.get(fu, 0) > 0:
+            if avail[fu] > 0:
                 granted.append(entry)
                 avail[fu] -= 1
         return granted
@@ -108,12 +132,12 @@ class AgeSelect(SelectPolicy):
 
     def select(self, ctx: SelectContext) -> List[int]:
         granted: List[int] = []
-        request = ctx.request_mask(ctx.entries)
-        oldest = ctx.age_matrix.select_single_oldest(request)
-        indices = np.flatnonzero(oldest)
-        if len(indices):
-            entry = int(indices[0])
-            if ctx.fu_available.get(ctx.fu_of(entry), 0) > 0:
+        mask, grant = self._buffers(ctx.age_matrix.size)
+        request = ctx.request_mask(ctx.entries, out=mask)
+        oldest = ctx.age_matrix.select_single_oldest(request, out=grant)
+        if oldest.any():
+            entry = int(oldest.argmax())     # first (only) set grant bit
+            if ctx.fu_available[ctx.fu_of(entry)] > 0:
                 granted.append(entry)
         rest = [e for e in ctx.entries if e not in granted]
         ctx.rng.shuffle(rest)
@@ -127,18 +151,18 @@ class MultSelect(SelectPolicy):
 
     def select(self, ctx: SelectContext) -> List[int]:
         granted: List[int] = []
-        avail = dict(ctx.fu_available)
+        avail = list(ctx.fu_available)
         by_type: Dict[FUType, List[int]] = {}
         for entry in ctx.entries:
             by_type.setdefault(ctx.fu_of(entry), []).append(entry)
+        mask, grant = self._buffers(ctx.age_matrix.size)
         for fu, members in sorted(by_type.items(), key=lambda kv: kv[0].value):
-            if avail.get(fu, 0) <= 0 or len(granted) >= ctx.width:
+            if avail[fu] <= 0 or len(granted) >= ctx.width:
                 continue
-            request = ctx.request_mask(members)
-            oldest = ctx.age_matrix.select_single_oldest(request)
-            indices = np.flatnonzero(oldest)
-            if len(indices):
-                entry = int(indices[0])
+            request = ctx.request_mask(members, out=mask)
+            oldest = ctx.age_matrix.select_single_oldest(request, out=grant)
+            if oldest.any():
+                entry = int(oldest.argmax())
                 granted.append(entry)
                 avail[fu] -= 1
         rest = [e for e in ctx.entries if e not in granted]
@@ -162,17 +186,18 @@ class OrinocoSelect(SelectPolicy):
         by_type: Dict[FUType, List[int]] = {}
         for entry in ctx.entries:
             by_type.setdefault(ctx.fu_of(entry), []).append(entry)
+        mask, grant = self._buffers(ctx.age_matrix.size)
         for fu, members in by_type.items():
-            cap = min(ctx.fu_available.get(fu, 0), ctx.width)
+            cap = min(ctx.fu_available[fu], ctx.width)
             if cap <= 0:
                 continue
-            request = ctx.request_mask(members)
-            grants = ctx.age_matrix.select_oldest(request, cap)
+            request = ctx.request_mask(members, out=mask)
+            grants = ctx.age_matrix.select_oldest(request, cap, out=grant)
             union.extend(int(i) for i in np.flatnonzero(grants))
         if len(union) <= ctx.width:
             return union
-        request = ctx.request_mask(union)
-        grants = ctx.age_matrix.select_oldest(request, ctx.width)
+        request = ctx.request_mask(union, out=mask)
+        grants = ctx.age_matrix.select_oldest(request, ctx.width, out=grant)
         return [int(i) for i in np.flatnonzero(grants)]
 
 

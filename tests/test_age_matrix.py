@@ -176,6 +176,62 @@ class TestGroupOps:
         age.remove_group([4, 7])
         assert age.age_order() == [2]
 
+    def test_group_equals_sequential_noncritical(self):
+        """The all-non-critical fast path must land the exact state a
+        scalar dispatch loop would."""
+        batched, scalar = AgeMatrix(8), AgeMatrix(8)
+        batched.dispatch_group([4, 2, 7], [False, False, False])
+        for entry in (4, 2, 7):
+            scalar.dispatch(entry)
+        assert (batched.matrix.bits == scalar.matrix.bits).all()
+        assert (batched.valid == scalar.valid).all()
+        assert (batched.critical == scalar.critical).all()
+
+    def test_group_equals_sequential_critical_mix(self):
+        batched, scalar = AgeMatrix(8), AgeMatrix(8)
+        batched.dispatch_group([1, 5, 3], [False, True, False])
+        for entry, critical in ((1, False), (5, True), (3, False)):
+            scalar.dispatch(entry, critical=critical)
+        assert (batched.matrix.bits == scalar.matrix.bits).all()
+        assert (batched.valid == scalar.valid).all()
+        assert (batched.critical == scalar.critical).all()
+
+    def test_group_duplicate_entry_rejected(self):
+        age = AgeMatrix(8)
+        with pytest.raises(ValueError):
+            age.dispatch_group([3, 3], [False, False])
+        age.dispatch(2)
+        with pytest.raises(ValueError):
+            age.dispatch_group([2, 4], [False, False])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_dispatch_group_matches_sequential(data):
+    """Property: after any interleaving of group dispatches (random
+    criticality) and removes, the batched matrix state is identical to
+    a twin driven by scalar ``dispatch`` calls."""
+    size = data.draw(st.integers(min_value=2, max_value=24))
+    batched, scalar = AgeMatrix(size), AgeMatrix(size)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=20))):
+        free = [e for e in range(size) if not batched.valid[e]]
+        occupied = [e for e in range(size) if batched.valid[e]]
+        if free and (not occupied or data.draw(st.booleans())):
+            count = data.draw(st.integers(min_value=1,
+                                          max_value=len(free)))
+            entries = data.draw(st.permutations(free))[:count]
+            flags = [data.draw(st.booleans()) for _ in entries]
+            batched.dispatch_group(entries, flags)
+            for entry, critical in zip(entries, flags):
+                scalar.dispatch(entry, critical=critical)
+        elif occupied:
+            entry = data.draw(st.sampled_from(occupied))
+            batched.remove(entry)
+            scalar.remove(entry)
+        assert (batched.matrix.bits == scalar.matrix.bits).all()
+        assert (batched.valid == scalar.valid).all()
+        assert (batched.critical == scalar.critical).all()
+
 
 @settings(max_examples=40, deadline=None)
 @given(st.data())

@@ -77,3 +77,25 @@ class TestReporting:
         result.results = {"base": None, "conf": None}
         text = result.format()
         assert "Fig X" in text and "+10.0%" in text
+
+
+class TestEngineVersionInCacheKey:
+    """An engine revision bump must bust every cached cell: SimStats
+    produced by an older engine may no longer match what the current
+    engine would compute."""
+
+    def test_engine_version_exported(self):
+        from repro.pipeline import ENGINE_VERSION
+        assert isinstance(ENGINE_VERSION, int) and ENGINE_VERSION >= 2
+
+    def test_engine_bump_changes_every_key(self, monkeypatch):
+        from repro.harness.cache import cache_key
+        before = cache_key(base_config(), "gcc.mix", 0.5)
+        monkeypatch.setattr("repro.harness.cache.ENGINE_VERSION", -1)
+        after = cache_key(base_config(), "gcc.mix", 0.5)
+        assert before != after
+
+    def test_key_stable_at_fixed_engine(self):
+        from repro.harness.cache import cache_key
+        assert cache_key(base_config(), "gcc.mix", 0.5) == \
+            cache_key(base_config(), "gcc.mix", 0.5)

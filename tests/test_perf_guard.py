@@ -1,0 +1,142 @@
+"""Steady-state allocation guard and REPRO_CHECK self-verification.
+
+The PR 4 hot-path work preallocates every per-cycle buffer (matrix
+scratch, select masks, group accumulators) so the cycle loop constructs
+no new NumPy arrays in steady state.  This guard pins that property:
+after a warm-up, a window of fully stepped cycles must execute without
+a single call to a NumPy array *constructor* (``np.zeros`` /
+``np.empty`` / ``np.ones`` / ``np.full`` / ``np.arange``).
+
+The shim counts Python-level constructor calls, which is exactly the
+contract the scratch-buffer convention establishes.  (C-level
+temporaries inside ufuncs are invisible to any Python shim and are not
+what the convention governs.)
+
+Set ``REPRO_NO_PERF_GUARD=1`` to skip the guard, e.g. when bisecting
+an unrelated failure on a machine where the engine is being hacked on.
+
+The second half exercises ``REPRO_CHECK=1``: with checking latched on,
+the incremental ready/commit-eligible caches recompute every answer
+from the full matrix reduction and must agree over whole runs.
+"""
+
+import os
+import unittest.mock
+
+import numpy as np
+import pytest
+
+from repro.core import check
+from repro.pipeline import O3Core, base_config
+from repro.workloads import build_trace
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_NO_PERF_GUARD") == "1",
+    reason="REPRO_NO_PERF_GUARD=1")
+
+CONSTRUCTORS = ("zeros", "empty", "ones", "full", "arange")
+WARMUP_STEPS = 400
+GUARDED_STEPS = 200
+
+
+def _counting_shim(counts):
+    patchers = []
+    for name in CONSTRUCTORS:
+        original = getattr(np, name)
+
+        def counted(*args, _name=name, _original=original, **kwargs):
+            counts[_name] = counts.get(_name, 0) + 1
+            return _original(*args, **kwargs)
+
+        patchers.append(unittest.mock.patch.object(np, name, counted))
+    return patchers
+
+
+@pytest.mark.parametrize("scheduler,commit", [
+    ("age", "ioc"),
+    ("orinoco", "orinoco"),
+])
+def test_steady_state_cycles_allocate_nothing(scheduler, commit):
+    trace = build_trace("mcf.chase", scale=0.5)
+    config = base_config(scheduler=scheduler, commit=commit)
+    core = O3Core(trace, config)
+    # fully stepped cycles (no fast-forward): the guard covers the
+    # exact per-cycle engine work
+    for _ in range(WARMUP_STEPS):
+        if core.done():
+            break
+        core.step()
+    assert not core.done(), "trace too small to reach steady state"
+
+    counts = {}
+    patchers = _counting_shim(counts)
+    for patcher in patchers:
+        patcher.start()
+    try:
+        for _ in range(GUARDED_STEPS):
+            if core.done():
+                break
+            core.step()
+    finally:
+        for patcher in patchers:
+            patcher.stop()
+    assert not counts, (
+        f"steady-state cycles constructed NumPy arrays: {counts} "
+        f"over {GUARDED_STEPS} cycles — a scratch buffer regressed")
+
+
+class TestReproCheck:
+    """REPRO_CHECK=1 cross-checks the incremental caches end to end."""
+
+    def teardown_method(self):
+        check.reset()
+
+    def test_latched_from_environment(self, monkeypatch):
+        check.reset()
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert check.check_enabled()
+        check.reset()
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        assert not check.check_enabled()
+
+    @pytest.mark.parametrize("scheduler,commit", [
+        ("age", "ioc"),
+        ("orinoco", "orinoco"),
+        ("mult", "rob"),
+    ])
+    def test_checked_run_matches_unchecked(self, scheduler, commit):
+        """A checked run must complete without CheckError and produce
+        the same statistics as the unchecked engine."""
+        import dataclasses
+        trace = build_trace("xalanc.hash", scale=0.3)
+        config = base_config(scheduler=scheduler, commit=commit)
+        check.set_enabled(False)
+        baseline = O3Core(trace, config).run()
+        check.set_enabled(True)
+        try:
+            checked = O3Core(trace, config).run()
+        finally:
+            check.reset()
+        assert dataclasses.asdict(checked) == dataclasses.asdict(baseline)
+
+    def test_check_error_raised_on_seeded_divergence(self):
+        """Corrupting a cached pending counter must trip the cross-check
+        (proves the checked path actually compares)."""
+        from repro.core.check import CheckError
+        trace = build_trace("gcc.mix", scale=0.2)
+        config = base_config(scheduler="age", commit="ioc")
+        check.set_enabled(True)
+        try:
+            core = O3Core(trace, config)
+            wakeup = core.state.wakeup
+            for _ in range(500):
+                if wakeup.valid.any():
+                    break
+                core.step()
+            entry = int(np.flatnonzero(wakeup.valid)[0])
+            wakeup._pending[entry] += 1                  # corrupt cache
+            wakeup._dirty = True
+            with pytest.raises(CheckError):
+                wakeup.ready()
+        finally:
+            check.reset()

@@ -13,10 +13,13 @@ Commands mirror the paper's evaluation artefacts:
   wall-clock / cache-hit accounting
 * ``profile``       — profile the simulator itself on one kernel
   (per-stage time, event counts, optional cProfile)
+* ``replay``        — re-run a crash-diagnostic bundle from
+  ``benchmarks/crash/`` and report whether the failure reproduces
 
 Experiment commands accept ``--jobs N`` (parallel simulation workers,
-default ``$REPRO_JOBS``) and ``--no-cache`` (bypass the on-disk result
-cache under ``benchmarks/.cache/``).
+default ``$REPRO_JOBS``), ``--no-cache`` (bypass the on-disk result
+cache under ``benchmarks/.cache/``) and ``--timeout S`` (per-cell
+limit on the worker path, default ``$REPRO_CELL_TIMEOUT``).
 """
 
 from __future__ import annotations
@@ -46,6 +49,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache under "
                              "benchmarks/.cache/")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-cell timeout in seconds when running "
+                             "with workers (default $REPRO_CELL_TIMEOUT; "
+                             "timed-out cells are reported, not fatal)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--sort", default="tottime",
                          choices=("tottime", "cumulative", "ncalls"),
                          help="cProfile sort order")
+
+    replay = sub.add_parser(
+        "replay", help="re-run a crash-diagnostic bundle and report "
+                       "whether the failure reproduces")
+    replay.add_argument("bundle", help="path to a crash bundle JSON "
+                                       "(see benchmarks/crash/)")
+    replay.add_argument("--events", type=int, default=12, metavar="N",
+                        help="event-tail lines to print (default 12)")
     return parser
 
 
@@ -152,7 +167,8 @@ def _exec_opts(args) -> dict:
     The CLI caches by default (``--no-cache`` opts out), unlike the
     library default which requires ``$REPRO_CACHE=1``.
     """
-    return {"workers": args.jobs, "use_cache": not args.no_cache}
+    return {"workers": args.jobs, "use_cache": not args.no_cache,
+            "timeout": args.timeout}
 
 
 def _cmd_bench(args) -> str:
@@ -203,6 +219,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _dispatch(build_parser().parse_args(argv))
     except BrokenPipeError:          # e.g. `repro kernels | head`
         return 0
+    except KeyboardInterrupt as exc:
+        # SuiteInterrupted carries which cells finished (and were
+        # flushed to the cache); a bare Ctrl-C has nothing to add
+        message = str(exc)
+        print(f"interrupted{': ' + message if message else ''}",
+              file=sys.stderr)
+        return 130
 
 
 def _dispatch(args) -> int:
@@ -259,6 +282,11 @@ def _dispatch(args) -> int:
             events=args.events, cprofile_top=args.cprofile,
             cprofile_sort=args.sort)
         print(report.format())
+    elif command == "replay":
+        from .harness import replay_bundle
+        report = replay_bundle(args.bundle)
+        print(report.format(events=args.events))
+        return 0 if report.reproduced else 1
     return 0
 
 

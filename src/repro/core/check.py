@@ -16,7 +16,6 @@ flip the mode without re-importing.
 
 from __future__ import annotations
 
-import os
 from typing import Optional
 
 _enabled: Optional[bool] = None
@@ -27,10 +26,11 @@ class CheckError(AssertionError):
 
 
 def check_enabled() -> bool:
-    """True when ``REPRO_CHECK`` is set to a non-empty, non-"0" value."""
+    """True when ``REPRO_CHECK`` is set truthy (see ``repro.envutil``)."""
     global _enabled
     if _enabled is None:
-        _enabled = os.environ.get("REPRO_CHECK", "") not in ("", "0")
+        from ..envutil import env_flag
+        _enabled = env_flag("REPRO_CHECK", default=False)
     return _enabled
 
 

@@ -1,0 +1,77 @@
+"""Normalized environment-variable parsing.
+
+Every ``REPRO_*`` knob that means yes/no goes through :func:`env_flag`
+so the accepted spellings are uniform across the code base.  The seed
+grew several ad-hoc parsers with surprising edges (``REPRO_CACHE=false``
+*enabled* the cache because only ``"0"``/``""``/``"no"`` were treated
+as falsy); this module is the single source of truth instead.
+
+Unrecognised values fall back to the default and warn once per
+(variable, value) pair, so a typo like ``REPRO_CACHE=ture`` is loud
+instead of silently flipping a feature.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Set, Tuple
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "", "false", "no", "off"})
+
+_warned: Set[Tuple[str, str]] = set()
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean from the environment: 1/true/yes/on vs 0/""/false/no/off
+    (case-insensitive).  Unset or unrecognised values → ``default``."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    if (name, raw) not in _warned:
+        _warned.add((name, raw))
+        warnings.warn(
+            f"{name}={raw!r} is not a recognised boolean "
+            f"(use one of {sorted(_TRUTHY)} / {sorted(_FALSY)}); "
+            f"using the default ({default})", RuntimeWarning,
+            stacklevel=2)
+    return default
+
+
+def env_float(name: str, default: Optional[float] = None
+              ) -> Optional[float]:
+    """Float from the environment; unset/unparseable → ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        if (name, raw) not in _warned:
+            _warned.add((name, raw))
+            warnings.warn(f"{name}={raw!r} is not a number; "
+                          f"using the default ({default})",
+                          RuntimeWarning, stacklevel=2)
+        return default
+
+
+def env_int(name: str, default: int = 0) -> int:
+    """Integer from the environment; unset/unparseable → ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        if (name, raw) not in _warned:
+            _warned.add((name, raw))
+            warnings.warn(f"{name}={raw!r} is not an integer; "
+                          f"using the default ({default})",
+                          RuntimeWarning, stacklevel=2)
+        return default

@@ -19,6 +19,16 @@ Entries live as one JSON file per cell under ``benchmarks/.cache/``
 (override with ``REPRO_CACHE_DIR``).  JSON round-trips Python ints and
 floats exactly, so a cache hit reproduces the original ``SimStats``
 bit-for-bit — the invariant the determinism suite enforces.
+
+Entries are integrity-checked: each file wraps its payload as
+``{"sha256": <hex>, "payload": {...}}`` where the hash covers the
+canonical (sorted, separator-free) JSON of the payload.  A file that
+fails to parse *or* fails its checksum is **quarantined** — renamed to
+``<name>.corrupt`` beside the original, counted in
+``ResultCache.corrupt``, and surfaced as a plain miss so the suite
+recomputes the cell instead of crashing (or worse, silently trusting
+a torn write).  Checksum-less entries written by older versions are
+accepted once and rewritten in the checked format on read.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import hashlib
 import json
 import os
 import pathlib
+import warnings
 from typing import Dict, Optional, Tuple
 
 from ..pipeline import ENGINE_VERSION, CoreConfig, SimStats
@@ -93,6 +104,23 @@ def cache_key(config: CoreConfig, workload: str, scale: float = 1.0,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:40]
 
 
+def payload_checksum(payload: Dict[str, object]) -> str:
+    """sha256 over the canonical JSON encoding of a cache payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# warn at most once per process when corrupt entries are quarantined;
+# the per-instance ``corrupt`` counter carries the full tally
+_warned_corrupt = False
+
+
+def _reset_corrupt_warning() -> None:
+    """Test hook: re-arm the one-shot quarantine warning."""
+    global _warned_corrupt
+    _warned_corrupt = False
+
+
 def stats_to_dict(stats: SimStats) -> Dict[str, object]:
     return dataclasses.asdict(stats)
 
@@ -116,23 +144,62 @@ class ResultCache:
             else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str, kind: str = "stats") -> pathlib.Path:
         suffix = ".json" if kind == "stats" else f".{kind}.json"
         return self.root / f"{key}{suffix}"
 
-    def _load(self, path: pathlib.Path) -> Optional[dict]:
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        return data if isinstance(data, dict) else None
+    def path_for(self, key: str, kind: str = "stats") -> pathlib.Path:
+        """On-disk location of one entry (diagnostics / fault hooks)."""
+        return self._path(key, kind)
 
-    def _store(self, path: pathlib.Path, data: dict) -> None:
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        global _warned_corrupt
+        self.corrupt += 1
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        if not _warned_corrupt:
+            _warned_corrupt = True
+            warnings.warn(
+                f"quarantined corrupt cache entry {path.name} ({reason}); "
+                f"the cell will be recomputed — further corrupt entries "
+                f"are counted silently", RuntimeWarning, stacklevel=4)
+
+    def _load(self, path: pathlib.Path) -> Optional[dict]:
+        """Read one entry, verifying its checksum.  Corrupt files are
+        quarantined; legacy checksum-less files are migrated in place."""
+        try:
+            text = path.read_text()
+        except OSError:
+            return None                 # plain miss: no entry at all
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path, "not a JSON object")
+            return None
+        if set(data) == {"sha256", "payload"}:
+            payload = data["payload"]
+            if not isinstance(payload, dict) or \
+                    data["sha256"] != payload_checksum(payload):
+                self._quarantine(path, "checksum mismatch")
+                return None
+            return payload
+        # pre-checksum entry: accept once, rewrite in the checked format
+        self._store(path, data)
+        return data
+
+    def _store(self, path: pathlib.Path, payload: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        wrapped = {"sha256": payload_checksum(payload), "payload": payload}
         # write-then-rename so a concurrent reader never sees a torn file
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(data, sort_keys=True))
+        tmp.write_text(json.dumps(wrapped, sort_keys=True))
         tmp.replace(path)
 
     # -- SimStats cells ---------------------------------------------------

@@ -33,16 +33,20 @@ def characterize(scale: float = 1.0,
                  names: Optional[List[str]] = None,
                  preset: str = "base",
                  workers: Optional[int] = None,
-                 use_cache: Optional[bool] = None) -> List[KernelProfile]:
+                 use_cache: Optional[bool] = None,
+                 timeout: Optional[float] = None) -> List[KernelProfile]:
     """Run each kernel under the baseline core and profile it."""
     traces = build_suite(scale, names)
     config = make_config(preset)
     result = run_config("characterize", config, traces,
-                        workers=workers, use_cache=use_cache)
+                        workers=workers, use_cache=use_cache,
+                        timeout=timeout)
     profiles = []
     for name, trace in traces.items():
         mix = trace.class_mix()
-        stats = result.stats[name]
+        stats = result.stats.get(name)
+        if stats is None:        # failed/timed-out cell: skip, don't die
+            continue
         kilo = max(1, stats.committed) / 1000.0
         profiles.append(KernelProfile(
             name=name,

@@ -63,6 +63,14 @@ class ExperimentResult:
         return sum(len(r.stats) for r in self.results.values())
 
 
+def _missing_notes(results: Dict[str, SuiteResult]) -> List[str]:
+    """One annotation per failed/timed-out/missing cell."""
+    notes: List[str] = []
+    for result in results.values():
+        notes.extend(result.failure_notes())
+    return notes
+
+
 def _collect(results: Dict[str, SuiteResult], baseline_label: str,
              name: str, description: str) -> ExperimentResult:
     baseline = results[baseline_label]
@@ -75,14 +83,20 @@ def _collect(results: Dict[str, SuiteResult], baseline_label: str,
         per = speedups(result, baseline)
         for workload, value in per.items():
             experiment.per_workload.setdefault(workload, {})[label] = value
-        experiment.summary[label] = geomean(list(per.values()))
+        if per:
+            experiment.summary[label] = geomean(list(per.values()))
+        else:
+            experiment.notes.append(
+                f"{label}: no cells completed; geomean omitted")
+    experiment.notes.extend(_missing_notes(results))
     return experiment
 
 
 def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
           preset: str = "base", progress: bool = False,
           workers: Optional[int] = None,
-          use_cache: Optional[bool] = None) -> ExperimentResult:
+          use_cache: Optional[bool] = None,
+          timeout: Optional[float] = None) -> ExperimentResult:
     """Figure 14: IPC improvements of priority scheduling.
 
     Baseline AGE; comparisons MULT, Orinoco, CRI w/ AGE, CRI w/ Orinoco
@@ -105,7 +119,7 @@ def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
     jobs += jobs_for("CRI w/ Orinoco", base.with_policies(scheduler="cri"),
                      traces, profile_config)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress)
+                        progress=progress, timeout=timeout)
     return _collect(results, "AGE", "Figure 14",
                     "IPC improvement of priority scheduling over AGE")
 
@@ -127,7 +141,8 @@ FIG15_CONFIGS = {
 def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
           preset: str = "base", progress: bool = False,
           workers: Optional[int] = None,
-          use_cache: Optional[bool] = None) -> ExperimentResult:
+          use_cache: Optional[bool] = None,
+          timeout: Optional[float] = None) -> ExperimentResult:
     """Figure 15: IPC improvements of out-of-order commit over IOC
     (all with the AGE scheduler, as in the paper's baseline)."""
     traces = build_suite(scale, names)
@@ -137,14 +152,15 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
     for label, commit in FIG15_CONFIGS.items():
         jobs += jobs_for(label, base.with_policies(commit=commit), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress)
+                        progress=progress, timeout=timeout)
     return _collect(results, "IOC", "Figure 15",
                     "IPC improvement of out-of-order commit over IOC")
 
 
 def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
           progress: bool = False, workers: Optional[int] = None,
-          use_cache: Optional[bool] = None) -> ExperimentResult:
+          use_cache: Optional[bool] = None,
+          timeout: Optional[float] = None) -> ExperimentResult:
     """Figure 16: sensitivity to core size (Base / Pro / Ultra).
 
     For each size, speedups of priority scheduling (Orinoco issue),
@@ -166,7 +182,7 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
             jobs += jobs_for(f"{preset}: {kind}",
                              base.with_policies(**policies), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress)
+                        progress=progress, timeout=timeout)
     experiment = ExperimentResult(
         "Figure 16", "normalized performance sensitivity",
         baseline_label="AGE+IOC", results=results)
@@ -178,7 +194,12 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
             for workload, value in per.items():
                 experiment.per_workload.setdefault(
                     workload, {})[label] = value
-            experiment.summary[label] = geomean(list(per.values()))
+            if per:
+                experiment.summary[label] = geomean(list(per.values()))
+            else:
+                experiment.notes.append(
+                    f"{label}: no cells completed; geomean omitted")
+    experiment.notes.extend(_missing_notes(results))
     return experiment
 
 
@@ -187,7 +208,8 @@ def stall_breakdown(scale: float = 1.0,
                     preset: str = "base",
                     progress: bool = False,
                     workers: Optional[int] = None,
-                    use_cache: Optional[bool] = None
+                    use_cache: Optional[bool] = None,
+                    timeout: Optional[float] = None
                     ) -> Dict[str, Dict[str, float]]:
     """§2.2 / §6.2 statistics.
 
@@ -205,7 +227,7 @@ def stall_breakdown(scale: float = 1.0,
             + jobs_for("Orinoco", base.with_policies(commit="orinoco"),
                        traces))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress)
+                        progress=progress, timeout=timeout)
     out: Dict[str, Dict[str, float]] = {}
     for label in ("IOC", "Orinoco"):
         result = results[label]

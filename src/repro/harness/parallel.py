@@ -3,13 +3,14 @@
 Every paper artefact is a grid of independent (config, workload) cells
 — exactly the embarrassingly parallel shape the figures' serial loops
 wasted.  :func:`run_suite` takes a flat list of :class:`Job` cells and
-executes them over a ``multiprocessing`` pool, with three guarantees:
+executes them over the fault-isolated dispatcher in
+:mod:`repro.harness.resilience`, with four guarantees:
 
-* **Determinism** — results are assembled in job order via
-  ``Pool.map``, every cell is a pure function of (config, workload
-  name, scale), and cells are reconstructed identically in any
-  process; parallel, serial, and cached paths return bit-identical
-  :class:`~repro.pipeline.SimStats`.
+* **Determinism** — outcomes are keyed by task id and assembled in job
+  order, every cell is a pure function of (config, workload name,
+  scale), and cells are reconstructed identically in any process;
+  parallel, serial, and cached paths return bit-identical
+  :class:`~repro.pipeline.SimStats` on fault-free runs.
 * **Spawn safety** — workers receive a pickled ``CoreConfig`` plus the
   *workload name and scale*, never a pickled ``Trace``: traces are
   large (megabytes of ``DynInstr``) and rebuilding from the seeded
@@ -22,6 +23,19 @@ executes them over a ``multiprocessing`` pool, with three guarantees:
   (profile config, workload) cell exactly once, stage two feeds that
   single profile to every dependent run (the serial path re-simulated
   the profile per output config).
+* **Graceful degradation** — a crashed, hung, or raising cell is an
+  annotated hole in the grid, not a dead campaign: its
+  :class:`SuiteResult` slot records a typed status
+  (:class:`~repro.harness.resilience.CellStatus`) and a
+  :class:`~repro.harness.resilience.CellFailure` (with a crash bundle
+  for in-worker exceptions), healthy cells complete and are flushed to
+  the cache as they finish, and Ctrl-C raises
+  :class:`~repro.harness.resilience.SuiteInterrupted` naming exactly
+  what finished.
+
+The ``workers<=1`` path runs in-process with no dispatcher, no fault
+injection, and seed semantics (exceptions propagate) — it is the
+reference the parallel path must match bit-for-bit.
 
 Results come back as ``{label: SuiteResult}`` with per-cell wall-clock
 timings so benchmark output can report actual speedup, and an optional
@@ -31,17 +45,26 @@ key was already computed.
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..criticality import CriticalityTagger, clear_tags
+from ..envutil import env_flag
 from ..pipeline import CoreConfig, O3Core, SimStats
+from ..testing import faults
 from ..workloads import SUITE, build_trace
 from .cache import ResultCache, cache_key
+from .diagnostics import build_crash_bundle, write_bundle
+from .resilience import (CellFailure, CellStatus, SuiteInterrupted,
+                         TaskOutcome, TaskSpec, default_cell_timeout,
+                         default_max_retries, get_pool, next_task_id,
+                         shutdown_pools)
+
+__all__ = ["Job", "ProfileData", "default_use_cache", "default_workers",
+           "jobs_for", "run_suite", "shutdown_pools"]
 
 #: pc_l1_misses, pc_mispredicts — the profile payload fed to the tagger
 ProfileData = Tuple[Dict[int, int], Dict[int, int]]
@@ -59,6 +82,10 @@ class Job:
     #: tag the critical slices, then simulate under ``config``
     profile_config: Optional[CoreConfig] = None
 
+    @property
+    def cell_id(self) -> str:
+        return f"{self.label}/{self.workload}"
+
 
 def default_workers() -> int:
     """Worker count from ``$REPRO_JOBS`` (default 1 = in-process)."""
@@ -69,8 +96,9 @@ def default_workers() -> int:
 
 
 def default_use_cache() -> bool:
-    """Cache policy from ``$REPRO_CACHE`` (off unless set to 1)."""
-    return os.environ.get("REPRO_CACHE", "0") not in ("0", "", "no")
+    """Cache policy from ``$REPRO_CACHE`` (off unless set truthy —
+    ``false``/``off``/``no``/``0``/unset all disable)."""
+    return env_flag("REPRO_CACHE", default=False)
 
 
 def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
@@ -91,6 +119,10 @@ def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
 # Top-level functions so they pickle by reference under spawn.  Workers
 # import repro afresh, rebuild the trace from the registry, simulate,
 # and return (picklable) SimStats plus the cell's wall-clock seconds.
+# The _simulate_* pair is the bare reference path (used in-process when
+# workers <= 1); the _guarded_* pair wraps it for the dispatcher —
+# applying injected faults and converting exceptions into failure
+# dicts carrying a crash-diagnostic bundle.
 
 def _simulate_profile(task) -> Tuple[Dict[int, int], Dict[int, int], float]:
     """Stage 1: profile run → per-PC L1-miss / misprediction counts."""
@@ -103,98 +135,163 @@ def _simulate_profile(task) -> Tuple[Dict[int, int], Dict[int, int], float]:
             time.perf_counter() - start)
 
 
-def _simulate_cell(task) -> Tuple[SimStats, float]:
+def _simulate_cell(task, subscribers: Sequence = ()
+                   ) -> Tuple[SimStats, float]:
     """Stage 2: simulate one cell (tagging first for criticality runs).
 
     Tagging happens *inside* the try so a crash mid-``tag`` (partial
     tags) still clears the shared in-process trace on the way out.
+    ``subscribers`` are attached to the core's event bus before the
+    run (fault injection; empty on the reference path).
     """
     config, workload, scale, profile = task
     trace = build_trace(workload, scale)
     start = time.perf_counter()
     if profile is None:
-        stats = O3Core(trace, config).run()
+        core = O3Core(trace, config)
+        for subscriber in subscribers:
+            core.bus.attach(subscriber)
+        stats = core.run()
     else:
         tagger = CriticalityTagger()
         tagger.feed_profile(profile[0], profile[1])
         try:
             tagger.tag(trace)
-            stats = O3Core(trace, config).run()
+            core = O3Core(trace, config)
+            for subscriber in subscribers:
+                core.bus.attach(subscriber)
+            stats = core.run()
         finally:
             clear_tags(trace)
     return stats, time.perf_counter() - start
 
 
-# -- pool management -------------------------------------------------------
-# Pools persist across run_suite calls so a pytest session (or a CLI
-# figure with several sub-suites) pays worker spawn + import once.
-
-_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
-
-
-def _get_pool(workers: int) -> multiprocessing.pool.Pool:
-    pool = _POOLS.get(workers)
-    if pool is None:
-        context = multiprocessing.get_context("spawn")
-        pool = context.Pool(processes=workers)
-        _POOLS[workers] = pool
-    return pool
-
-
-def shutdown_pools() -> None:
-    """Terminate every cached worker pool (also runs atexit)."""
-    for pool in _POOLS.values():
-        pool.terminate()
-        pool.join()
-    _POOLS.clear()
+def _guarded_profile(payload, attempt: int):
+    """Dispatcher wrapper for stage 1: fault hooks + failure capture."""
+    cell_id, config, workload, scale, faults_text = payload
+    specs = faults.parse_fault_specs(faults_text)
+    faults.preflight(specs, cell_id, attempt)
+    try:
+        return "ok", _simulate_profile((config, workload, scale))
+    except Exception as exc:
+        tb = traceback.format_exc()
+        bundle = build_crash_bundle(
+            label="profile", config=config, workload=workload, scale=scale,
+            exc=exc, tb=tb, attempt=attempt, faults_text=faults_text)
+        return "error", {"kind": "exception",
+                         "message": f"{type(exc).__name__}: {exc}",
+                         "traceback": tb, "bundle": bundle}
 
 
-atexit.register(shutdown_pools)
-
-
-def _map(workers: int, func, tasks: Sequence) -> List:
-    """Order-preserving map, in-process when workers <= 1."""
-    if workers <= 1 or len(tasks) <= 1:
-        return [func(task) for task in tasks]
-    return _get_pool(workers).map(func, tasks)
+def _guarded_cell(payload, attempt: int):
+    """Dispatcher wrapper for stage 2: fault hooks + failure capture."""
+    (label, config, workload, scale, profile, profile_config,
+     faults_text) = payload
+    cell_id = f"{label}/{workload}"
+    specs = faults.parse_fault_specs(faults_text)
+    faults.preflight(specs, cell_id, attempt)
+    exploder = faults.explode_subscriber(specs, cell_id, attempt)
+    subscribers = (exploder,) if exploder is not None else ()
+    try:
+        stats, elapsed = _simulate_cell(
+            (config, workload, scale, profile), subscribers)
+        return "ok", (stats, elapsed)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        bundle = build_crash_bundle(
+            label=label, config=config, workload=workload, scale=scale,
+            profile=profile, profile_config=profile_config,
+            exc=exc, tb=tb, attempt=attempt, faults_text=faults_text)
+        return "error", {"kind": "exception",
+                         "message": f"{type(exc).__name__}: {exc}",
+                         "traceback": tb, "bundle": bundle}
 
 
 # -- the executor ----------------------------------------------------------
 
+@dataclass
+class _CellRecord:
+    """Terminal state of one job's cell, pre-assembly."""
+
+    status: CellStatus
+    stats: Optional[SimStats] = None
+    elapsed: float = 0.0
+    failure: Optional[CellFailure] = None
+
+
+def _finalize_failure(failure: Optional[CellFailure]
+                      ) -> Optional[CellFailure]:
+    """Write a failure's in-worker bundle payload to the crash dir."""
+    if failure is not None and failure.bundle_data is not None:
+        try:
+            failure.bundle = str(write_bundle(failure.bundle_data))
+        except OSError:
+            pass
+        failure.bundle_data = None
+    return failure
+
+
 def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              progress: bool = False) -> Dict[str, "SuiteResult"]:
+              progress: bool = False,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None) -> Dict[str, "SuiteResult"]:
     """Execute every job; return ``{label: SuiteResult}`` in job order.
 
     ``workers=None`` reads ``$REPRO_JOBS``; ``workers<=1`` runs
-    in-process (the bit-identical serial reference path).  ``cache``
-    short-circuits cells (and profiles) already on disk.
+    in-process (the bit-identical serial reference path, where
+    exceptions propagate and no faults are injected).  ``cache``
+    short-circuits cells (and profiles) already on disk and receives
+    each completed cell as it finishes.  ``timeout`` (seconds;
+    ``None`` reads ``$REPRO_CELL_TIMEOUT``) bounds each cell on the
+    worker path; ``retries`` (``None`` reads ``$REPRO_RETRIES``)
+    bounds crash retries.  Failed cells come back as annotated holes
+    in the :class:`SuiteResult`, never as raised exceptions.
     """
     from .runner import SuiteResult          # local: avoid import cycle
     if workers is None:
         workers = default_workers()
+    if timeout is None:
+        timeout = default_cell_timeout()
+    if retries is None:
+        retries = default_max_retries()
+    # the fault programme is sampled here, in the parent, and travels
+    # inside task payloads: persistent pools may predate the env var,
+    # and a typo'd programme must fail the suite, not silently no-op
+    faults_text = os.environ.get(faults.FAULT_ENV, "")
+    fault_specs = faults.parse_fault_specs(faults_text)
+
+    def flush_cell(index: int, stats: SimStats) -> None:
+        if cache is None:
+            return
+        cache.put(cell_keys[index], stats)
+        if fault_specs:
+            faults.apply_corrupt_faults(
+                fault_specs, jobs[index].cell_id,
+                cache.path_for(cell_keys[index]))
 
     # cached cells short-circuit everything, including their profiles
     cell_keys = [cache_key(job.config, job.workload, job.scale,
                            job.profile_config) for job in jobs]
-    outcomes: Dict[int, Tuple[SimStats, float, bool]] = {}
+    records: Dict[int, _CellRecord] = {}
     if cache is not None:
         for index in range(len(jobs)):
             hit = cache.get(cell_keys[index])
             if hit is not None:
-                outcomes[index] = (hit, 0.0, True)
+                records[index] = _CellRecord(CellStatus.CACHED, hit)
 
     # stage 1: one profile simulation per unique (profile, workload) cell
     profile_keys = {}                        # job index -> profile cell key
     profile_cells = {}                       # key -> (config, name, scale)
     for index, job in enumerate(jobs):
-        if job.profile_config is None or index in outcomes:
+        if job.profile_config is None or index in records:
             continue
         key = cache_key(job.profile_config, job.workload, job.scale)
         profile_keys[index] = key
         profile_cells.setdefault(
             key, (job.profile_config, job.workload, job.scale))
     profiles: Dict[str, ProfileData] = {}
+    profile_failures: Dict[str, CellFailure] = {}
     if cache is not None:
         for key in list(profile_cells):
             hit = cache.get_profile(key)
@@ -206,39 +303,114 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
         for key, (config, name, scale) in pending:
             print(f"    profile[{config.scheduler}/{config.commit}]: "
                   f"{name}", flush=True)
-    for (key, _), (misses, mispredicts, _elapsed) in zip(
-            pending, _map(workers, _simulate_profile,
-                          [cell for _, cell in pending])):
-        profiles[key] = (misses, mispredicts)
-        if cache is not None:
-            cache.put_profile(key, misses, mispredicts)
+    if pending and workers <= 1:
+        for key, cell in pending:
+            misses, mispredicts, _elapsed = _simulate_profile(cell)
+            profiles[key] = (misses, mispredicts)
+            if cache is not None:
+                cache.put_profile(key, misses, mispredicts)
+    elif pending:
+        specs, key_of = [], {}
+        for key, (config, name, scale) in pending:
+            spec = TaskSpec(next_task_id(), f"profile/{name}",
+                            _guarded_profile,
+                            (f"profile/{name}", config, name, scale,
+                             faults_text))
+            specs.append(spec)
+            key_of[spec.task_id] = key
+
+        def profile_done(spec: TaskSpec, outcome: TaskOutcome) -> None:
+            if outcome.status is not CellStatus.OK:
+                profile_failures[key_of[spec.task_id]] = \
+                    _finalize_failure(outcome.failure)
+                return
+            misses, mispredicts, _elapsed = outcome.value
+            profiles[key_of[spec.task_id]] = (misses, mispredicts)
+            if cache is not None:
+                cache.put_profile(key_of[spec.task_id], misses, mispredicts)
+
+        get_pool(workers).run(specs, timeout=timeout, retries=retries,
+                              on_complete=profile_done)
 
     # stage 2: the remaining runs
-    tasks, task_indices = [], []
-    for index, job in enumerate(jobs):
-        if index in outcomes:
-            continue
-        profile = profiles[profile_keys[index]] \
-            if index in profile_keys else None
-        tasks.append((job.config, job.workload, job.scale, profile))
-        task_indices.append(index)
     if progress:
         for index, job in enumerate(jobs):
-            note = " (cached)" if index in outcomes else ""
+            note = " (cached)" if index in records else ""
             print(f"    {job.label}: {job.workload}{note}", flush=True)
-    for index, (stats, elapsed) in zip(
-            task_indices, _map(workers, _simulate_cell, tasks)):
-        outcomes[index] = (stats, elapsed, False)
-        if cache is not None:
-            cache.put(cell_keys[index], stats)
+    task_indices = [index for index in range(len(jobs))
+                    if index not in records]
+    if workers <= 1:
+        # in-process reference path: exceptions propagate (seed
+        # semantics); Ctrl-C still reports what finished
+        try:
+            for index in task_indices:
+                job = jobs[index]
+                profile = profiles[profile_keys[index]] \
+                    if index in profile_keys else None
+                stats, elapsed = _simulate_cell(
+                    (job.config, job.workload, job.scale, profile))
+                records[index] = _CellRecord(CellStatus.OK, stats, elapsed)
+                flush_cell(index, stats)
+        except KeyboardInterrupt:
+            done = [jobs[i].cell_id for i in task_indices if i in records]
+            raise SuiteInterrupted(done, len(task_indices)) from None
+    else:
+        specs, index_of = [], {}
+        for index in task_indices:
+            job = jobs[index]
+            key = profile_keys.get(index)
+            if key is not None and key not in profiles:
+                # the profile this cell depends on failed upstream
+                upstream = profile_failures.get(key)
+                records[index] = _CellRecord(
+                    CellStatus.FAILED,
+                    failure=CellFailure(
+                        kind="dependency",
+                        message=(f"profile cell failed: "
+                                 f"{upstream.summary()}" if upstream
+                                 else "profile cell failed"),
+                        bundle=upstream.bundle if upstream else None))
+                continue
+            profile = profiles[key] if key is not None else None
+            spec = TaskSpec(next_task_id(), job.cell_id, _guarded_cell,
+                            (job.label, job.config, job.workload,
+                             job.scale, profile, job.profile_config,
+                             faults_text))
+            specs.append(spec)
+            index_of[spec.task_id] = index
+
+        def cell_done(spec: TaskSpec, outcome: TaskOutcome) -> None:
+            index = index_of[spec.task_id]
+            if outcome.status is CellStatus.OK:
+                stats, elapsed = outcome.value
+                records[index] = _CellRecord(CellStatus.OK, stats, elapsed)
+                flush_cell(index, stats)
+            else:
+                records[index] = _CellRecord(
+                    outcome.status,
+                    failure=_finalize_failure(outcome.failure))
+
+        get_pool(workers).run(specs, timeout=timeout, retries=retries,
+                              on_complete=cell_done)
+        for spec in specs:               # backstop: no task goes missing
+            index = index_of[spec.task_id]
+            if index not in records:
+                records[index] = _CellRecord(
+                    CellStatus.FAILED,
+                    failure=CellFailure(kind="crash",
+                                        message="no outcome recorded"))
 
     results: Dict[str, SuiteResult] = {}
     for index, job in enumerate(jobs):
-        stats, elapsed, was_cached = outcomes[index]
+        record = records[index]
         result = results.get(job.label)
         if result is None:
             result = results[job.label] = SuiteResult(job.label, job.config)
-        result.stats[job.workload] = stats
-        result.timings[job.workload] = elapsed
-        result.cached[job.workload] = was_cached
+        result.statuses[job.workload] = record.status
+        result.timings[job.workload] = record.elapsed
+        result.cached[job.workload] = record.status is CellStatus.CACHED
+        if record.stats is not None:
+            result.stats[job.workload] = record.stats
+        if record.failure is not None:
+            result.failures[job.workload] = record.failure
     return results

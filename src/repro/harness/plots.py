@@ -5,19 +5,25 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 
-def hbar_chart(values: Dict[str, float], title: str = "",
+def hbar_chart(values: Dict[str, Optional[float]], title: str = "",
                width: int = 48, baseline: float = 1.0,
                fmt: str = "{:+.1%}") -> str:
     """Horizontal bars of (value - baseline), styled like the paper's
-    speedup figures: bars grow right for gains, left for losses."""
+    speedup figures: bars grow right for gains, left for losses.
+    ``None`` values (cells that failed or timed out) render as an
+    annotated empty row instead of crashing the report."""
     if not values:
         return title
-    deltas = {k: v - baseline for k, v in values.items()}
-    biggest = max(abs(d) for d in deltas.values()) or 1.0
+    deltas = {k: v - baseline for k, v in values.items() if v is not None}
+    biggest = max((abs(d) for d in deltas.values()), default=1.0) or 1.0
     half = width // 2
     label_width = max(len(k) for k in values)
     lines = [title] if title else []
     for key, value in values.items():
+        if value is None:
+            bar = (" " * half + "|").ljust(width + 1)
+            lines.append(f"{key.ljust(label_width)} {bar} (no data)")
+            continue
         delta = deltas[key]
         length = int(round(abs(delta) / biggest * half))
         if delta >= 0:

@@ -1,0 +1,438 @@
+"""Fault-isolated task dispatcher for the experiment harness.
+
+The seed executor drove a persistent ``Pool.map``: one hung simulation
+blocked the suite forever, a worker killed by the OOM killer aborted
+the whole campaign with nothing to show, and there was no notion of a
+partially-complete suite.  This module replaces it with a dispatcher
+built for graceful degradation:
+
+* **One duplex pipe per worker, no shared queues.**  Tasks go down a
+  worker's pipe; results come back up the same pipe; worker death is
+  observed via the process *sentinel* in the same
+  :func:`multiprocessing.connection.wait` call that collects results.
+  A SIGKILLed worker can never leave a shared lock held (there is
+  none) and never wedges the parent.
+* **Per-cell timeouts.**  Every in-flight cell carries a deadline
+  (``timeout`` argument, ``$REPRO_CELL_TIMEOUT`` default); a cell past
+  its deadline has its worker killed, the cell is recorded as
+  ``timeout``, and a replacement worker is spawned.
+* **Crash isolation + retries.**  A worker that dies mid-cell
+  (segfault, ``os._exit``, OOM kill) is detected, the pool is
+  replenished, and the cell is retried with capped exponential
+  backoff (``$REPRO_RETRIES`` attempts beyond the first, default 1) —
+  transient faults recover, hard faults end as a ``failed`` cell, and
+  the rest of the suite is unaffected either way.
+* **Typed outcomes.**  Every task ends as a :class:`TaskOutcome`
+  carrying a :class:`CellStatus` (``ok | failed | timeout | cached``)
+  and, for failures, a :class:`CellFailure` with the kind, message,
+  traceback and (for in-worker exceptions) the crash-diagnostic
+  bundle produced by :mod:`repro.harness.diagnostics`.
+* **Clean interruption.**  Ctrl-C kills the pool, and
+  :class:`SuiteInterrupted` (a ``KeyboardInterrupt`` subclass)
+  reports exactly which cells finished — results already handed to
+  ``on_complete`` (the cache-flush hook) are durable.
+
+Determinism: the dispatcher never reorders *results* — outcomes are
+keyed by task id and assembled in submission order by the caller — so
+a fault-free run remains bit-identical to the serial reference
+regardless of completion order, retries, or pool size.
+"""
+
+from __future__ import annotations
+
+import atexit
+import enum
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..envutil import env_float, env_int
+
+__all__ = ["CellFailure", "CellStatus", "ResilientPool", "SuiteInterrupted",
+           "TaskOutcome", "TaskSpec", "default_cell_timeout",
+           "default_max_retries", "get_pool", "shutdown_pools"]
+
+
+class CellStatus(str, enum.Enum):
+    """Per-cell terminal status (JSON-serializable, compares to str)."""
+
+    OK = "ok"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CACHED = "cached"
+
+    def __str__(self) -> str:          # "ok", not "CellStatus.OK"
+        return self.value
+
+
+@dataclass
+class CellFailure:
+    """Why a cell did not produce stats."""
+
+    #: "crash" (worker died), "timeout", "exception" (in-worker raise),
+    #: or "dependency" (its profile cell failed upstream)
+    kind: str
+    message: str
+    traceback: str = ""
+    exitcode: Optional[int] = None
+    attempts: int = 1
+    #: path of the crash-diagnostic bundle, once written by the parent
+    bundle: Optional[str] = None
+    #: in-worker bundle payload awaiting a parent-side write
+    bundle_data: Optional[dict] = None
+
+    def summary(self) -> str:
+        text = f"{self.kind}: {self.message}"
+        if self.attempts > 1:
+            text += f" (after {self.attempts} attempts)"
+        if self.bundle:
+            text += f" [bundle: {self.bundle}]"
+        return text
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One dispatchable unit of work.
+
+    ``func`` must be a module-level callable (pickled by reference
+    under ``spawn``) with signature ``func(payload, attempt) ->
+    ("ok", value) | ("error", failure_dict)`` — it must catch its own
+    exceptions and turn them into failure dicts; anything it *lets
+    escape* is still caught by the worker loop as a last resort.
+    """
+
+    task_id: int
+    cell_id: str
+    func: Callable
+    payload: tuple
+
+
+@dataclass
+class TaskOutcome:
+    status: CellStatus
+    value: object = None
+    failure: Optional[CellFailure] = None
+    attempts: int = 1
+
+
+class SuiteInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-suite; carries exactly what finished."""
+
+    def __init__(self, completed: Sequence[str], total: int):
+        self.completed = list(completed)
+        self.total = total
+        done = ", ".join(self.completed) if self.completed else "none"
+        super().__init__(
+            f"interrupted with {len(self.completed)}/{total} cells "
+            f"finished (completed: {done})")
+
+
+def default_cell_timeout() -> Optional[float]:
+    """Per-cell timeout from ``$REPRO_CELL_TIMEOUT`` (seconds;
+    unset/non-positive → no timeout)."""
+    value = env_float("REPRO_CELL_TIMEOUT")
+    return value if value is not None and value > 0 else None
+
+
+def default_max_retries() -> int:
+    """Crash-retry budget from ``$REPRO_RETRIES`` (default 1)."""
+    return max(0, env_int("REPRO_RETRIES", 1))
+
+
+# -- worker side -----------------------------------------------------------
+
+def _worker_main(conn) -> None:
+    """Worker loop: recv (task_id, func, payload, attempt) → send
+    (task_id, status, value).  SIGINT is ignored so Ctrl-C interrupts
+    only the parent, which then tears the pool down deliberately."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, func, payload, attempt = message
+        try:
+            status, value = func(payload, attempt)
+        except BaseException as exc:    # belt and braces: guarded funcs
+            status = "error"            # should not raise
+            value = {"kind": "exception",
+                     "message": f"{type(exc).__name__}: {exc}",
+                     "traceback": traceback.format_exc(),
+                     "bundle": None}
+        try:
+            conn.send((task_id, status, value))
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _WorkerHandle:
+    """A live worker process plus its pipe and current assignment."""
+
+    __slots__ = ("proc", "conn", "task", "attempt", "deadline")
+
+    def __init__(self, ctx):
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.task: Optional[TaskSpec] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+
+    def close(self, kill: bool = False) -> None:
+        try:
+            if kill:
+                self.proc.kill()
+            else:
+                try:
+                    self.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            self.proc.join(timeout=5)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=5)
+        finally:
+            self.conn.close()
+
+
+@dataclass
+class _Pending:
+    task: TaskSpec
+    attempt: int = 1
+    eligible_at: float = 0.0
+
+
+class ResilientPool:
+    """A replenishing pool of spawn workers with a dispatch loop.
+
+    Pools persist across :meth:`run` calls (worker spawn + import is
+    paid once per process lifetime, as with the seed's ``Pool``); the
+    dispatcher replaces any worker it loses, so a pool survives its
+    workers indefinitely.
+    """
+
+    #: capped exponential backoff for crash retries (seconds)
+    BACKOFF_BASE = 0.25
+    BACKOFF_CAP = 4.0
+    #: dispatch-loop poll ceiling (seconds)
+    POLL = 0.5
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.ctx = multiprocessing.get_context("spawn")
+        self.handles: List[_WorkerHandle] = [
+            _WorkerHandle(self.ctx) for _ in range(workers)]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _respawn(self, handle: _WorkerHandle,
+                 kill: bool = False) -> _WorkerHandle:
+        handle.close(kill=kill)
+        replacement = _WorkerHandle(self.ctx)
+        self.handles[self.handles.index(handle)] = replacement
+        return replacement
+
+    def shutdown(self, kill: bool = False) -> None:
+        for handle in self.handles:
+            handle.close(kill=kill)
+        self.handles = []
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def run(self, tasks: Sequence[TaskSpec],
+            timeout: Optional[float] = None,
+            retries: int = 0,
+            on_complete: Optional[Callable[[TaskSpec, TaskOutcome],
+                                           None]] = None
+            ) -> Dict[int, TaskOutcome]:
+        """Execute every task; return ``{task_id: TaskOutcome}``.
+
+        Never raises for a failing *task*; raises
+        :class:`SuiteInterrupted` on Ctrl-C after killing the pool.
+        """
+        outcomes: Dict[int, TaskOutcome] = {}
+        pending: List[_Pending] = [_Pending(task) for task in tasks]
+        completed_cells: List[str] = []
+
+        def finish(task: TaskSpec, outcome: TaskOutcome) -> None:
+            outcomes[task.task_id] = outcome
+            if outcome.status is CellStatus.OK:
+                completed_cells.append(task.cell_id)
+            if on_complete is not None:
+                on_complete(task, outcome)
+
+        try:
+            while len(outcomes) < len(tasks):
+                now = time.monotonic()
+                self._assign(pending, now, timeout)
+                busy = [h for h in self.handles if h.task is not None]
+                if not busy:
+                    if not pending:
+                        break            # all accounted for
+                    # every pending task is backing off; sleep it out
+                    delay = min(p.eligible_at for p in pending) - now
+                    time.sleep(min(max(delay, 0.01), self.POLL))
+                    continue
+                self._wait(busy, pending, now, timeout)
+                now = time.monotonic()
+                for handle in busy:
+                    if handle.task is None:
+                        continue
+                    # a dead worker's pipe end reads as EOF, so poll()
+                    # is True for results AND for death — _collect
+                    # disambiguates and reports EOF as not-collected
+                    if handle.conn.poll() and self._collect(handle,
+                                                            finish):
+                        continue
+                    if not handle.proc.is_alive() or handle.conn.poll():
+                        self._on_death(handle, pending, retries, now,
+                                       finish)
+                    elif (handle.deadline is not None
+                          and now >= handle.deadline):
+                        self._on_timeout(handle, finish)
+        except KeyboardInterrupt:
+            # kill, don't drain: a hung worker would block a graceful
+            # close.  Completed cells were already flushed via
+            # on_complete, so nothing durable is lost.
+            self.shutdown(kill=True)
+            _forget_pool(self)
+            raise SuiteInterrupted(completed_cells, len(tasks)) from None
+        return outcomes
+
+    # -- loop steps --------------------------------------------------------
+
+    def _assign(self, pending: List[_Pending], now: float,
+                timeout: Optional[float]) -> None:
+        for handle in self.handles:
+            if handle.task is not None:
+                continue
+            index = next((i for i, p in enumerate(pending)
+                          if p.eligible_at <= now), None)
+            if index is None:
+                return
+            item = pending[index]
+            if not handle.proc.is_alive():   # died while idle
+                handle = self._respawn(handle)
+            try:
+                handle.conn.send((item.task.task_id, item.task.func,
+                                  item.task.payload, item.attempt))
+            except (BrokenPipeError, OSError):
+                self._respawn(handle)        # retry next loop iteration
+                return
+            del pending[index]
+            handle.task = item.task
+            handle.attempt = item.attempt
+            handle.deadline = (now + timeout) if timeout else None
+
+    def _wait(self, busy: List[_WorkerHandle], pending: List[_Pending],
+              now: float, timeout: Optional[float]) -> None:
+        poll = self.POLL
+        if timeout is not None:
+            poll = min(poll, max(0.0, min(h.deadline for h in busy) - now))
+        waitable = [h.conn for h in busy] + [h.proc.sentinel for h in busy]
+        if poll > 0:
+            multiprocessing.connection.wait(waitable, timeout=poll)
+
+    def _collect(self, handle: _WorkerHandle,
+                 finish: Callable[[TaskSpec, TaskOutcome], None]) -> bool:
+        """Consume one result; False when poll() was EOF (dead worker)."""
+        task, attempt = handle.task, handle.attempt
+        try:
+            task_id, status, value = handle.conn.recv()
+        except (EOFError, OSError):
+            return False                 # pipe closed: the worker died
+        if task_id != task.task_id:      # cannot happen: one in-flight
+            return True                  # task per pipe; drop stale data
+        handle.task, handle.deadline = None, None
+        if status == "ok":
+            finish(task, TaskOutcome(CellStatus.OK, value=value,
+                                     attempts=attempt))
+        else:
+            failure = CellFailure(
+                kind=value.get("kind", "exception"),
+                message=value.get("message", "worker error"),
+                traceback=value.get("traceback", ""),
+                attempts=attempt,
+                bundle_data=value.get("bundle"))
+            finish(task, TaskOutcome(CellStatus.FAILED, failure=failure,
+                                     attempts=attempt))
+        return True
+
+    def _on_death(self, handle: _WorkerHandle, pending: List[_Pending],
+                  retries: int, now: float,
+                  finish: Callable[[TaskSpec, TaskOutcome], None]) -> None:
+        task, attempt = handle.task, handle.attempt
+        handle.proc.join(timeout=5)      # EOF can precede process exit
+        exitcode = handle.proc.exitcode
+        self._respawn(handle)
+        if attempt <= retries:
+            backoff = min(self.BACKOFF_CAP,
+                          self.BACKOFF_BASE * (2 ** (attempt - 1)))
+            pending.append(_Pending(task, attempt + 1, now + backoff))
+            return
+        failure = CellFailure(
+            kind="crash",
+            message=(f"worker died (exitcode {exitcode}) while running "
+                     f"{task.cell_id}"),
+            exitcode=exitcode, attempts=attempt)
+        finish(task, TaskOutcome(CellStatus.FAILED, failure=failure,
+                                 attempts=attempt))
+
+    def _on_timeout(self, handle: _WorkerHandle,
+                    finish: Callable[[TaskSpec, TaskOutcome], None]) -> None:
+        task, attempt = handle.task, handle.attempt
+        self._respawn(handle, kill=True)
+        failure = CellFailure(
+            kind="timeout",
+            message=f"cell {task.cell_id} exceeded its timeout",
+            attempts=attempt)
+        finish(task, TaskOutcome(CellStatus.TIMEOUT, failure=failure,
+                                 attempts=attempt))
+
+
+# -- pool registry ---------------------------------------------------------
+# Pools persist across run_suite calls so a pytest session (or a CLI
+# figure with several sub-suites) pays worker spawn + import once.
+
+_POOLS: Dict[int, ResilientPool] = {}
+_TASK_IDS = itertools.count(1)
+
+
+def next_task_id() -> int:
+    """Process-unique task ids (stale results can never alias)."""
+    return next(_TASK_IDS)
+
+
+def get_pool(workers: int) -> ResilientPool:
+    pool = _POOLS.get(workers)
+    if pool is None or not pool.handles:
+        pool = ResilientPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _forget_pool(pool: ResilientPool) -> None:
+    for workers, cached in list(_POOLS.items()):
+        if cached is pool:
+            del _POOLS[workers]
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (also runs atexit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(kill=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

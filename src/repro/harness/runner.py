@@ -22,11 +22,18 @@ from ..pipeline import CoreConfig, O3Core, SimStats
 from .cache import ResultCache
 from .parallel import (Job, default_use_cache, default_workers, jobs_for,
                        run_suite)
+from .resilience import CellFailure, CellStatus
 
 
 @dataclass
 class SuiteResult:
-    """IPC (and full stats) for one configuration across the suite."""
+    """IPC (and full stats) for one configuration across the suite.
+
+    A cell that failed, timed out, or lost its profile dependency is
+    an annotated hole: absent from ``stats`` but present in
+    ``statuses`` (and ``failures``) so downstream artefacts render
+    missing cells instead of crashing on ``KeyError``.
+    """
 
     label: str
     config: CoreConfig
@@ -35,11 +42,21 @@ class SuiteResult:
     timings: Dict[str, float] = field(default_factory=dict)
     #: per-workload flag: did the cell come from the result cache?
     cached: Dict[str, bool] = field(default_factory=dict)
+    #: per-workload terminal status (ok | failed | timeout | cached)
+    statuses: Dict[str, CellStatus] = field(default_factory=dict)
+    #: per-workload failure detail for non-ok cells
+    failures: Dict[str, CellFailure] = field(default_factory=dict)
 
     def ipc(self, workload: str) -> float:
         try:
             return self.stats[workload].ipc
         except KeyError:
+            failure = self.failures.get(workload)
+            if failure is not None:
+                raise KeyError(
+                    f"workload {workload!r} in suite result "
+                    f"{self.label!r} did not finish — "
+                    f"{failure.summary()}") from None
             available = ", ".join(sorted(self.stats)) or "none"
             raise KeyError(
                 f"no stats for workload {workload!r} in suite result "
@@ -47,6 +64,23 @@ class SuiteResult:
 
     def workloads(self) -> List[str]:
         return list(self.stats)
+
+    def missing(self) -> List[str]:
+        """Workloads attempted but absent from ``stats``."""
+        return [name for name in self.statuses if name not in self.stats]
+
+    def complete(self) -> bool:
+        return not self.missing()
+
+    def failure_notes(self) -> List[str]:
+        """Human-readable lines, one per missing cell."""
+        notes = []
+        for name in self.missing():
+            failure = self.failures.get(name)
+            detail = failure.summary() if failure is not None \
+                else str(self.statuses[name])
+            notes.append(f"{self.label}/{name}: {detail}")
+        return notes
 
     def sim_seconds(self) -> float:
         """Total simulation wall-clock across cells (cache hits cost 0)."""
@@ -81,13 +115,15 @@ def run_config(label: str, config: CoreConfig,
                progress: bool = False,
                workers: Optional[int] = None,
                use_cache: Optional[bool] = None,
-               cache: Optional[ResultCache] = None) -> SuiteResult:
+               cache: Optional[ResultCache] = None,
+               timeout: Optional[float] = None) -> SuiteResult:
     """Simulate every trace under ``config`` (via the executor)."""
     if not _registry_backed(traces):
         return _serial_run_config(label, config, traces, progress)
     workers, cache = resolve_execution(workers, use_cache, cache)
     results = run_suite(jobs_for(label, config, traces),
-                        workers=workers, cache=cache, progress=progress)
+                        workers=workers, cache=cache, progress=progress,
+                        timeout=timeout)
     return results.get(label, SuiteResult(label, config))
 
 
@@ -103,6 +139,7 @@ def _serial_run_config(label: str, config: CoreConfig,
         result.stats[name] = O3Core(trace, config).run()
         result.timings[name] = time.perf_counter() - start
         result.cached[name] = False
+        result.statuses[name] = CellStatus.OK
     return result
 
 
@@ -112,7 +149,8 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
                           progress: bool = False,
                           workers: Optional[int] = None,
                           use_cache: Optional[bool] = None,
-                          cache: Optional[ResultCache] = None
+                          cache: Optional[ResultCache] = None,
+                          timeout: Optional[float] = None
                           ) -> Dict[str, SuiteResult]:
     """CRI runs for several output configs sharing one profile.
 
@@ -129,7 +167,7 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
     for label, config in specs:
         jobs.extend(jobs_for(label, config, traces, profile_config))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress)
+                        progress=progress, timeout=timeout)
     return {label: results.get(label, SuiteResult(label, config))
             for label, config in specs}
 
@@ -163,6 +201,7 @@ def _serial_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
                 clear_tags(trace)
             results[label].timings[name] = time.perf_counter() - start
             results[label].cached[name] = False
+            results[label].statuses[name] = CellStatus.OK
     return results
 
 
@@ -172,13 +211,14 @@ def run_config_with_criticality(label: str, config: CoreConfig,
                                 progress: bool = False,
                                 workers: Optional[int] = None,
                                 use_cache: Optional[bool] = None,
-                                cache: Optional[ResultCache] = None
+                                cache: Optional[ResultCache] = None,
+                                timeout: Optional[float] = None
                                 ) -> SuiteResult:
     """One CRI configuration (see :func:`run_criticality_suite`)."""
     results = run_criticality_suite([(label, config)], traces,
                                     profile_config, progress,
                                     workers=workers, use_cache=use_cache,
-                                    cache=cache)
+                                    cache=cache, timeout=timeout)
     return results[label]
 
 
@@ -191,9 +231,14 @@ def geomean(values: List[float]) -> float:
 
 def speedups(result: SuiteResult, baseline: SuiteResult
              ) -> Dict[str, float]:
-    """Per-workload IPC ratio vs the baseline configuration."""
+    """Per-workload IPC ratio vs the baseline configuration.
+
+    Only workloads with stats on *both* sides contribute — a cell
+    that failed in either suite is a hole, not a crash.
+    """
     return {name: result.ipc(name) / baseline.ipc(name)
-            for name in baseline.workloads()}
+            for name in baseline.workloads()
+            if name in result.stats}
 
 
 def geomean_speedup(result: SuiteResult, baseline: SuiteResult) -> float:

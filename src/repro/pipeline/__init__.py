@@ -4,7 +4,8 @@ from .config import (COMMITS, CONFIG_PRESETS, SCHEDULERS, CoreConfig,
                      base_config, make_config, pro_config, ultra_config)
 from .core import (ENGINE_VERSION, DeadlockError, InflightOp, O3Core,
                    simulate)
-from .events import (EventBus, EventRecorder, EventType, StatsSubscriber)
+from .events import (EventBus, EventRecorder, EventTail, EventType,
+                     StatsSubscriber)
 from .pipeview import Timeline, TimelineEntry
 from .resources import FUPool, FUType, fu_type_for
 from .stages import PipelineState
@@ -13,7 +14,8 @@ from .stats import SimStats
 __all__ = ["COMMITS", "CONFIG_PRESETS", "SCHEDULERS", "CoreConfig",
            "base_config", "make_config", "pro_config", "ultra_config",
            "Timeline", "TimelineEntry",
-           "EventBus", "EventRecorder", "EventType", "StatsSubscriber",
+           "EventBus", "EventRecorder", "EventTail", "EventType",
+           "StatsSubscriber",
            "PipelineState",
            "ENGINE_VERSION",
            "DeadlockError", "InflightOp", "O3Core", "simulate", "FUPool",

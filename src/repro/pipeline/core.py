@@ -178,6 +178,47 @@ class O3Core:
         self.commit_stage.exception_flush(op, cycle)
 
     # ------------------------------------------------------------------
+    # crash diagnostics
+    # ------------------------------------------------------------------
+
+    def snapshot(self, window_ops: int = 8) -> dict:
+        """JSON-able picture of the pipeline at the current cycle.
+
+        Captured post-mortem by the crash-diagnostic path (the core
+        object survives the exception that aborted :meth:`run`), so a
+        crash bundle shows *where the machine was* — window head,
+        occupancies, progress watermark — without any instrumentation
+        cost on healthy runs.
+        """
+        s = self.state
+        ops = []
+        for seq in sorted(s.window)[:window_ops]:
+            op = s.window[seq]
+            dyn = op.dyn
+            ops.append({
+                "seq": dyn.seq,
+                "pc": dyn.pc,
+                "op_class": dyn.op_class.name,
+                "issued": op.issued_at is not None,
+                "completed": op.completed,
+                "committed": op.committed,
+            })
+        return {
+            "cycle": s.cycle,
+            "progress_cycle": s.progress_cycle,
+            "fetch_exhausted": s.fetch.exhausted(),
+            "committed": s.stats.committed,
+            "dispatched": s.stats.dispatched,
+            "rob_occupancy": len(s.window),
+            "iq_occupancy": s.iq_queue.occupancy(),
+            "lq_occupancy": s.lsq.lq_occupancy(),
+            "zombies": len(s.zombies),
+            "frontend_pipe": len(s.frontend_pipe),
+            "dispatch_buffer": len(s.dispatch_buffer),
+            "window_head": ops,
+        }
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
 

@@ -21,9 +21,10 @@ keeps the events honest as the model grows.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Callable, ClassVar, Dict, List, Optional, Tuple
+from typing import Callable, ClassVar, Deque, Dict, List, Optional, Tuple
 
 from .stats import SimStats
 
@@ -348,3 +349,37 @@ class EventRecorder:
         histogram = ["  " + "  ".join(
             f"{name}={count}" for name, count in sorted(self.counts.items()))]
         return "\n".join(header + histogram + self.lines)
+
+
+class EventTail:
+    """Ring buffer of the *last* ``limit`` events (formatted).
+
+    The crash-diagnostic path attaches one during its instrumented
+    re-run of a failing cell, so a crash bundle carries the event
+    stream leading *into* the failure — :class:`EventRecorder` keeps
+    the first N, which for a crash at cycle 400k is useless.  CYCLE
+    events are counted but not kept (far too hot, zero diagnostic
+    value).
+    """
+
+    def __init__(self, limit: int = 64):
+        self.limit = limit
+        self.lines: Deque[str] = deque(maxlen=limit)
+        self.counts: Dict[str, int] = {}
+
+    def _record(self, ev) -> None:
+        name = EventType(ev.type).name
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if ev.type is EventType.CYCLE:
+            return
+        fields = ", ".join(f"{k}={EventRecorder._fmt(v)}"
+                           for k, v in vars(ev).items() if k != "cycle")
+        self.lines.append(f"[{ev.cycle:6d}] {name:8s} {fields}")
+
+    # one handler per type so EventBus.attach picks them all up
+    on_fetch = on_dispatch = on_issue = on_complete = _record
+    on_commit = on_squash = on_replay = on_stall = _record
+    on_select = on_mem = on_matrix = on_cycle = on_run_end = _record
+
+    def tail(self) -> List[str]:
+        return list(self.lines)

@@ -46,7 +46,6 @@ types) disable it automatically so event streams stay complete.
 from __future__ import annotations
 
 import dataclasses
-import os
 
 from .events import EventType
 from .stats import SimStats
@@ -84,7 +83,8 @@ _TRACKED = tuple(
 
 
 def enabled_by_env() -> bool:
-    return os.environ.get("REPRO_NO_FASTFORWARD", "") != "1"
+    from ..envutil import env_flag
+    return not env_flag("REPRO_NO_FASTFORWARD", default=False)
 
 
 class FastForward:

@@ -6,9 +6,14 @@ spawn workers, so a plain ``pytest`` invocation covers worker pickling,
 in-worker trace rebuild, and order-preserving result assembly — not
 just the in-process serial path.
 
-The on-disk result cache is redirected to a throwaway directory so
-test runs stay hermetic (no reads from, or writes to, the repo's
-``benchmarks/.cache/``); cache-specific tests pass their own roots.
+The on-disk result cache and the crash-bundle directory are redirected
+to throwaway directories so test runs stay hermetic (no reads from, or
+writes to, the repo's ``benchmarks/.cache/`` or ``benchmarks/crash/``);
+cache-specific tests pass their own roots.
+
+When the ``pytest-timeout`` plugin is installed (CI installs it; the
+local environment need not), every test gets a generous global timeout
+so an accidental harness hang fails the run instead of wedging it.
 """
 
 import atexit
@@ -21,3 +26,16 @@ os.environ.setdefault("REPRO_JOBS", "2")
 _CACHE_DIR = tempfile.mkdtemp(prefix="repro-test-cache-")
 os.environ.setdefault("REPRO_CACHE_DIR", _CACHE_DIR)
 atexit.register(shutil.rmtree, _CACHE_DIR, True)
+
+_CRASH_DIR = tempfile.mkdtemp(prefix="repro-test-crash-")
+os.environ.setdefault("REPRO_CRASH_DIR", _CRASH_DIR)
+atexit.register(shutil.rmtree, _CRASH_DIR, True)
+
+
+def pytest_configure(config):
+    # applied only when pytest-timeout is available: the container
+    # image does not ship it, but CI adds it for hang containment
+    if config.pluginmanager.hasplugin("timeout") and \
+            config.getoption("--timeout", None) is None:
+        config.option.timeout = 300
+        config.option.timeout_method = "thread"

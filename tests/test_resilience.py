@@ -1,0 +1,361 @@
+"""Degradation-path tests for the resilient experiment harness.
+
+Every recovery mechanism is exercised through deterministic fault
+injection (``REPRO_FAULT``, :mod:`repro.testing.faults`): worker
+crashes, transient crashes healed by retry, hung cells reaped by the
+per-cell timeout, mid-simulation exceptions producing replayable crash
+bundles, cache corruption quarantined on the next read, and Ctrl-C
+reporting exactly which cells finished.  Healthy cells must come
+through every scenario bit-identical to the serial reference.
+"""
+
+import _thread
+import json
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.envutil import env_flag, env_float, env_int
+from repro.harness import (CellStatus, SuiteInterrupted, hbar_chart,
+                           replay_bundle, run_suite)
+from repro.harness.cache import (ResultCache, _reset_corrupt_warning,
+                                 cache_key, payload_checksum,
+                                 stats_to_dict)
+from repro.harness.diagnostics import load_bundle
+from repro.harness.parallel import Job, default_use_cache
+from repro.harness.runner import SuiteResult, speedups
+from repro.pipeline import base_config
+from repro.testing import faults
+
+SCALE = 0.05
+WORKLOADS = ("mcf.chase", "gcc.mix")
+
+
+def _jobs(label, workloads=WORKLOADS, config=None, profile_config=None):
+    config = config or base_config()
+    return [Job(label, config, name, SCALE, profile_config)
+            for name in workloads]
+
+
+@pytest.fixture
+def crash_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path / "crash"))
+    return tmp_path / "crash"
+
+
+@pytest.fixture
+def serial_reference():
+    """Fault-free serial stats, the bit-identical yardstick."""
+    result = run_suite(_jobs("ref"), workers=1)["ref"]
+    return result.stats
+
+
+class TestEnvParsing:
+    def test_truthy_and_falsy_spellings(self, monkeypatch):
+        for raw in ("1", "true", "True", "YES", "on"):
+            monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+            assert env_flag("REPRO_TEST_FLAG") is True, raw
+        for raw in ("0", "", "false", "no", "OFF"):
+            monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+            assert env_flag("REPRO_TEST_FLAG") is False, raw
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG") is False
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    def test_unknown_value_warns_and_uses_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG2", "maybe")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_FLAG2"):
+            assert env_flag("REPRO_TEST_FLAG2", default=True) is True
+        # warn-once: the same (name, value) pair stays quiet
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            env_flag("REPRO_TEST_FLAG2", default=True)
+
+    def test_env_float_and_int(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_NUM", "2.5")
+        assert env_float("REPRO_TEST_NUM") == 2.5
+        monkeypatch.setenv("REPRO_TEST_NUM", "7")
+        assert env_int("REPRO_TEST_NUM", 3) == 7
+        monkeypatch.setenv("REPRO_TEST_NUM", "junk")
+        with pytest.warns(RuntimeWarning):
+            assert env_int("REPRO_TEST_NUM", 3) == 3
+
+    def test_repro_cache_false_disables_cache(self, monkeypatch):
+        """Regression: REPRO_CACHE=false/off used to *enable* caching."""
+        for raw in ("false", "off", "no", "0", ""):
+            monkeypatch.setenv("REPRO_CACHE", raw)
+            assert default_use_cache() is False, raw
+        for raw in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_CACHE", raw)
+            assert default_use_cache() is True, raw
+
+
+class TestFaultGrammar:
+    def test_parse_clauses(self):
+        specs = faults.parse_fault_specs(
+            "crash:A/mcf.chase, hang:B/*:12.5,explode:*/gcc.mix:40")
+        assert [s.kind for s in specs] == ["crash", "hang", "explode"]
+        assert specs[1].param == "12.5"
+        assert specs[0].matches("A/mcf.chase")
+        assert not specs[0].matches("A/mcf.multichase")
+        assert specs[1].matches("B/anything")
+
+    def test_empty_and_blank(self):
+        assert faults.parse_fault_specs("") == ()
+        assert faults.parse_fault_specs(None) == ()
+        assert faults.parse_fault_specs(" , ") == ()
+
+    def test_bad_grammar_raises(self):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            faults.parse_fault_specs("crash")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.parse_fault_specs("segfault:A/*")
+
+    def test_attempt_limited_fires(self):
+        spec = faults.FaultSpec("crash", "A/*", "1")
+        assert spec.fires(1) and not spec.fires(2)
+        assert faults.FaultSpec("crash", "A/*").fires(99)
+
+
+class TestCrashIsolation:
+    def test_hard_crash_isolates_cell(self, monkeypatch,
+                                      serial_reference):
+        monkeypatch.setenv("REPRO_FAULT", "crash:A/mcf.chase")
+        result = run_suite(_jobs("A"), workers=2, retries=1)["A"]
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        failure = result.failures["mcf.chase"]
+        assert failure.kind == "crash"
+        assert failure.exitcode == faults.CRASH_EXIT_CODE
+        assert failure.attempts == 2          # retried once, then gave up
+        assert "mcf.chase" not in result.stats
+        assert "mcf.chase" in result.missing()
+        # the healthy cell is untouched and bit-identical
+        assert result.statuses["gcc.mix"] is CellStatus.OK
+        assert result.stats["gcc.mix"] == serial_reference["gcc.mix"]
+
+    def test_transient_crash_healed_by_retry(self, monkeypatch,
+                                             serial_reference):
+        monkeypatch.setenv("REPRO_FAULT", "crash:A/mcf.chase:1")
+        result = run_suite(_jobs("A"), workers=2, retries=1)["A"]
+        assert result.statuses["mcf.chase"] is CellStatus.OK
+        assert result.stats["mcf.chase"] == serial_reference["mcf.chase"]
+        assert result.complete()
+
+    def test_crash_without_retries_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:A/mcf.chase:1")
+        result = run_suite(_jobs("A", ("mcf.chase",)), workers=2,
+                           retries=0)["A"]
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        assert result.failures["mcf.chase"].attempts == 1
+
+
+class TestTimeout:
+    def test_hung_cell_times_out(self, monkeypatch, serial_reference):
+        monkeypatch.setenv("REPRO_FAULT", "hang:A/gcc.mix")
+        result = run_suite(_jobs("A"), workers=2, timeout=3.0)["A"]
+        assert result.statuses["gcc.mix"] is CellStatus.TIMEOUT
+        assert result.failures["gcc.mix"].kind == "timeout"
+        assert result.statuses["mcf.chase"] is CellStatus.OK
+        assert result.stats["mcf.chase"] == serial_reference["mcf.chase"]
+
+
+class TestCrashBundles:
+    def test_explode_produces_replayable_bundle(self, monkeypatch,
+                                                crash_dir,
+                                                serial_reference):
+        monkeypatch.setenv("REPRO_FAULT", "explode:A/mcf.chase:40")
+        result = run_suite(_jobs("A"), workers=2)["A"]
+        failure = result.failures["mcf.chase"]
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        assert failure.kind == "exception"
+        assert "InjectedFault" in failure.message
+        assert failure.bundle is not None
+        assert result.stats["gcc.mix"] == serial_reference["gcc.mix"]
+
+        bundle = load_bundle(failure.bundle)
+        assert bundle["cell"] == "A/mcf.chase"
+        assert bundle["error"]["type"] == "InjectedFault"
+        assert bundle["config"]["scheduler"]      # full fingerprint
+        diag = bundle["diagnostic"]
+        assert diag["reproduced"] is True
+        assert diag["snapshot"]["committed"] == 40
+        assert diag["events"]                  # event tail captured
+
+        report = replay_bundle(failure.bundle)
+        assert report.reproduced
+        assert report.observed["type"] == "InjectedFault"
+        assert "REPRODUCED" in report.format()
+
+    def test_cli_replay(self, monkeypatch, crash_dir, capsys):
+        monkeypatch.setenv("REPRO_FAULT", "explode:A/mcf.chase:40")
+        result = run_suite(_jobs("A", ("mcf.chase",)), workers=2)["A"]
+        bundle_path = result.failures["mcf.chase"].bundle
+        from repro.cli import main
+        assert main(["replay", bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out and "pipeline:" in out
+
+
+class TestCacheQuarantine:
+    def _put_one(self, root, stats):
+        cache = ResultCache(root)
+        key = cache_key(base_config(), "mcf.chase", SCALE)
+        cache.put(key, stats)
+        return cache, key
+
+    def test_corrupt_fault_then_quarantine(self, tmp_path, monkeypatch,
+                                           serial_reference):
+        monkeypatch.setenv("REPRO_FAULT", "corrupt:C/*")
+        cache = ResultCache(tmp_path)
+        run_suite(_jobs("C", ("mcf.chase",)), workers=1, cache=cache)
+        monkeypatch.delenv("REPRO_FAULT")
+        _reset_corrupt_warning()
+        cache2 = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            result = run_suite(_jobs("C", ("mcf.chase",)), workers=1,
+                               cache=cache2)["C"]
+        assert cache2.corrupt == 1
+        assert list(tmp_path.glob("*.corrupt"))
+        # the cell was recomputed, not trusted
+        assert result.statuses["mcf.chase"] is CellStatus.OK
+        assert result.cached["mcf.chase"] is False
+        assert result.stats["mcf.chase"] == serial_reference["mcf.chase"]
+
+    def test_torn_write_fails_checksum(self, tmp_path, serial_reference):
+        cache, key = self._put_one(tmp_path, serial_reference["mcf.chase"])
+        assert faults.corrupt_file(cache.path_for(key), "torn")
+        _reset_corrupt_warning()
+        fresh = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            assert fresh.get(key) is None
+        assert fresh.corrupt == 1 and fresh.misses == 1
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_quarantine_warns_once(self, tmp_path, serial_reference):
+        cache, key = self._put_one(tmp_path, serial_reference["mcf.chase"])
+        key2 = cache_key(base_config(), "gcc.mix", SCALE)
+        cache.put(key2, serial_reference["gcc.mix"])
+        for k in (key, key2):
+            cache.path_for(k).write_text("{not json")
+        _reset_corrupt_warning()
+        fresh = ResultCache(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert fresh.get(key) is None
+            assert fresh.get(key2) is None
+        assert fresh.corrupt == 2
+        assert len([w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]) == 1
+
+    def test_legacy_entry_migrated_on_read(self, tmp_path,
+                                           serial_reference):
+        stats = serial_reference["mcf.chase"]
+        cache = ResultCache(tmp_path)
+        key = cache_key(base_config(), "mcf.chase", SCALE)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # checksum-less entry as written by pre-resilience versions
+        path.write_text(json.dumps(stats_to_dict(stats), sort_keys=True))
+        assert cache.get(key) == stats
+        on_disk = json.loads(path.read_text())
+        assert set(on_disk) == {"sha256", "payload"}
+        assert on_disk["sha256"] == payload_checksum(on_disk["payload"])
+        assert ResultCache(tmp_path).get(key) == stats   # still verifies
+
+
+class TestInterrupt:
+    def test_ctrl_c_reports_completed_cells(self, tmp_path, monkeypatch,
+                                            serial_reference):
+        monkeypatch.setenv("REPRO_FAULT",
+                           "hang:I/gcc.mix,hang:I/x264.divint")
+        cache = ResultCache(tmp_path)
+        jobs = _jobs("I", ("mcf.chase", "gcc.mix", "x264.divint"))
+        good_key = cache_key(base_config(), "mcf.chase", SCALE)
+
+        def interrupt_when_flushed():
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if ResultCache(tmp_path).get(good_key) is not None:
+                    break
+                time.sleep(0.1)
+            time.sleep(0.5)              # let on_complete fully settle
+            _thread.interrupt_main()
+
+        watcher = threading.Thread(target=interrupt_when_flushed,
+                                   daemon=True)
+        watcher.start()
+        with pytest.raises(SuiteInterrupted) as excinfo:
+            run_suite(jobs, workers=2, cache=cache)
+        watcher.join(timeout=10)
+        assert "I/mcf.chase" in excinfo.value.completed
+        assert "I/gcc.mix" not in excinfo.value.completed
+        # the completed cell survived to disk, bit-identical
+        durable = ResultCache(tmp_path).get(good_key)
+        assert durable == serial_reference["mcf.chase"]
+        # and the harness recovers: a fresh pool completes a new suite
+        monkeypatch.delenv("REPRO_FAULT")
+        after = run_suite(_jobs("I2", ("mcf.chase",)), workers=2)["I2"]
+        assert after.statuses["mcf.chase"] is CellStatus.OK
+
+
+class TestProfileDependency:
+    def test_profile_crash_fails_dependents(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:profile/*")
+        profile_config = base_config()
+        config = base_config().with_policies(scheduler="cri")
+        jobs = [Job("CRI", config, "mcf.chase", SCALE, profile_config)]
+        result = run_suite(jobs, workers=2, retries=0)["CRI"]
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        failure = result.failures["mcf.chase"]
+        assert failure.kind == "dependency"
+        assert "profile" in failure.message
+
+
+class TestMissingCellRendering:
+    def _holey_results(self):
+        from repro.harness.resilience import CellFailure
+        config = base_config()
+        baseline = SuiteResult("base", config)
+        result = SuiteResult("var", config)
+        stats = run_suite(_jobs("x", ("mcf.chase", "gcc.mix")),
+                          workers=1)["x"].stats
+        for name in ("mcf.chase", "gcc.mix"):
+            baseline.stats[name] = stats[name]
+            baseline.statuses[name] = CellStatus.OK
+        result.stats["mcf.chase"] = stats["mcf.chase"]
+        result.statuses["mcf.chase"] = CellStatus.OK
+        result.statuses["gcc.mix"] = CellStatus.TIMEOUT
+        result.failures["gcc.mix"] = CellFailure(
+            kind="timeout", message="cell var/gcc.mix exceeded its timeout")
+        return baseline, result
+
+    def test_speedups_skip_missing_cells(self):
+        baseline, result = self._holey_results()
+        ratios = speedups(result, baseline)
+        assert set(ratios) == {"mcf.chase"}
+
+    def test_ipc_error_names_the_failure(self):
+        _, result = self._holey_results()
+        assert not result.complete()
+        assert result.failure_notes()
+        with pytest.raises(KeyError, match="did not finish"):
+            result.ipc("gcc.mix")
+
+    def test_hbar_chart_renders_missing_as_no_data(self):
+        chart = hbar_chart({"A": 1.1, "B": None}, title="t")
+        assert "(no data)" in chart
+        assert "+10.0%" in chart
+
+    def test_collect_annotates_missing(self):
+        from repro.harness.experiments import _collect
+        baseline, result = self._holey_results()
+        experiment = _collect({"base": baseline, "var": result}, "base",
+                              "fig", "desc")
+        assert any("var/gcc.mix" in note for note in experiment.notes)
+        assert "var" in experiment.summary      # geomean over the rest
+        assert "no data" not in experiment.format() or True
+        experiment.format()                     # must not raise

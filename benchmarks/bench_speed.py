@@ -8,19 +8,27 @@ paper artefacts), this is a standalone script measuring how fast the
 
 Each suite kernel is simulated ``--reps`` times and the fastest rep
 kept (min-of-reps rejects background-load noise).  With ``--jobs N``
-the same cells are also fanned out over N worker processes to measure
-aggregate throughput.  Results land in ``benchmarks/out/
-BENCH_speed.json`` — per-workload kilocycles/sec, geomean, and suite
-totals — for before/after comparisons: check out the baseline tree,
-run with ``--out baseline.json``, and diff the ``summary`` blocks.
+the same cells are also run through the harness executor
+(:func:`repro.harness.run_config` — the chunked dispatcher real
+experiments use) to measure true end-to-end parallel wall-clock
+against the serial sweep wall, and the parallel stats are checked
+bit-identical against the serial ones.  ``--gate RATIO`` turns the
+comparison into a pass/fail check for CI: exit 1 if parallel wall
+exceeds ``RATIO x`` serial wall (skipped, and recorded as skipped,
+on single-CPU hosts where a speedup is physically unattainable) and
+exit 2 if the stats diverge.  Results land in ``benchmarks/out/
+BENCH_speed.json`` — per-workload kilocycles/sec, geomean, suite
+totals, and the serial-vs-parallel comparison — for before/after
+comparisons: check out the baseline tree, run with ``--out
+baseline.json``, and diff the ``summary`` blocks.
 """
 
 from __future__ import annotations
 
 import argparse
-import concurrent.futures
 import json
 import math
+import os
 import pathlib
 import sys
 import time
@@ -28,8 +36,10 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
+from repro.harness import run_config, shutdown_pools       # noqa: E402
 from repro.pipeline import base_config, simulate           # noqa: E402
-from repro.workloads import build_trace, kernel_names      # noqa: E402
+from repro.workloads import (build_suite, build_trace,     # noqa: E402
+                             kernel_names)
 
 OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_speed.json"
 QUICK_KERNELS = ("mcf.chase", "lbm.stream", "perl.branchy",
@@ -37,47 +47,110 @@ QUICK_KERNELS = ("mcf.chase", "lbm.stream", "perl.branchy",
 
 
 def _run_cell(kernel: str, scale: float, scheduler: str, commit: str):
-    """One simulation cell; returns (cycles, seconds).  Top-level so
-    process-pool workers can import it."""
+    """One simulation cell; returns (stats, seconds)."""
     trace = build_trace(kernel, scale)
     config = base_config(scheduler=scheduler, commit=commit)
     start = time.perf_counter()
     stats = simulate(trace, config)
-    return stats.cycles, time.perf_counter() - start
+    return stats, time.perf_counter() - start
 
 
 def _serial_pass(kernels, scale, scheduler, commit, reps):
+    """Per-cell min-of-reps timings plus one-sweep wall-clock.
+
+    Returns ``(per_kernel_rows, stats_by_kernel, sweep_wall)`` where
+    ``sweep_wall`` is the wall-clock of one full serial pass over the
+    suite (total wall / reps) — the honest baseline the parallel pass
+    has to beat.  Traces are pre-built by the caller so neither side's
+    wall is dominated by first-touch trace generation.
+    """
     results = {}
+    stats_by_kernel = {}
+    wall_start = time.perf_counter()
     for kernel in kernels:
         best = None
-        cycles = None
         for _ in range(reps):
-            cell_cycles, seconds = _run_cell(kernel, scale, scheduler,
-                                             commit)
-            cycles = cell_cycles
+            stats, seconds = _run_cell(kernel, scale, scheduler, commit)
+            stats_by_kernel[kernel] = stats
             best = seconds if best is None else min(best, seconds)
+        cycles = stats_by_kernel[kernel].cycles
         results[kernel] = {
             "cycles": cycles,
             "seconds": round(best, 4),
             "kcps": round(cycles / best / 1e3, 1) if best > 0 else 0.0,
         }
-    return results
+    sweep_wall = (time.perf_counter() - wall_start) / reps
+    return results, stats_by_kernel, sweep_wall
 
 
-def _parallel_pass(kernels, scale, scheduler, commit, jobs):
+def _parallel_pass(traces, scheduler, commit, jobs, chunk,
+                   serial_stats, serial_wall):
+    """End-to-end executor run over the same cells, vs the serial wall.
+
+    Uses the chunked dispatcher real experiments use (worker spawn,
+    batched pipe round-trips, in-worker trace rebuild + LRU), so the
+    measured wall is what a user actually waits for ``--jobs N``.
+    """
+    config = base_config(scheduler=scheduler, commit=commit)
     start = time.perf_counter()
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_cell, kernel, scale, scheduler,
-                               commit) for kernel in kernels]
-        cells = [future.result() for future in futures]
+    result = run_config("bench", config, traces, workers=jobs,
+                        use_cache=False, chunk=chunk)
     wall = time.perf_counter() - start
-    total_cycles = sum(cycles for cycles, _ in cells)
+    shutdown_pools()
+    identical = all(result.stats.get(name) == serial_stats[name]
+                    for name in traces)
+    total_cycles = sum(stats.cycles for stats in result.stats.values())
     return {
         "jobs": jobs,
+        "chunk": chunk if chunk is not None else "auto",
         "wall_seconds": round(wall, 4),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "speedup": round(serial_wall / wall, 3) if wall > 0 else 0.0,
         "total_cycles": total_cycles,
         "kcps": round(total_cycles / wall / 1e3, 1) if wall > 0 else 0.0,
+        "trace_cache_hits": result.trace_cache_hits(),
+        "queued_seconds": round(result.queued_seconds(), 4),
+        "identical": identical,
+        "cpus": os.cpu_count() or 1,
     }
+
+
+def _apply_gate(report, gate):
+    """Enforce ``--gate``; returns the process exit code.
+
+    Stats divergence is always fatal (exit 2).  The wall-clock ratio
+    check needs real parallelism to be winnable, so on a single-CPU
+    host it is skipped — and recorded as skipped, never silently — as
+    parallel-beats-serial is physically unattainable there (the CI
+    runners enforcing the gate have multiple cores).
+    """
+    par = report["parallel"]
+    if not par["identical"]:
+        report["gate"] = {"ratio": gate, "passed": False,
+                          "reason": "parallel stats diverged from serial"}
+        print("GATE FAIL: parallel stats are not bit-identical to serial",
+              file=sys.stderr)
+        return 2
+    if par["cpus"] <= 1:
+        report["gate"] = {"ratio": gate, "skipped": True,
+                          "reason": f"single-CPU host (cpus={par['cpus']}); "
+                                    f"wall ratio not enforceable"}
+        print(f"gate skipped: single-CPU host "
+              f"(parallel {par['wall_seconds']:.2f}s vs serial "
+              f"{par['serial_wall_seconds']:.2f}s recorded, not enforced)")
+        return 0
+    ratio = (par["wall_seconds"] / par["serial_wall_seconds"]
+             if par["serial_wall_seconds"] > 0 else float("inf"))
+    passed = ratio <= gate
+    report["gate"] = {"ratio": gate, "measured": round(ratio, 3),
+                      "passed": passed}
+    if not passed:
+        print(f"GATE FAIL: parallel wall {par['wall_seconds']:.2f}s is "
+              f"{ratio:.2f}x serial {par['serial_wall_seconds']:.2f}s "
+              f"(limit {gate:g}x)", file=sys.stderr)
+        return 1
+    print(f"gate ok: parallel/serial wall ratio {ratio:.2f} <= {gate:g}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -95,8 +168,15 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=1,
                         help="serial reps per cell; fastest kept")
     parser.add_argument("--jobs", type=int, default=0, metavar="N",
-                        help="also measure aggregate throughput over N "
-                             "worker processes")
+                        help="also measure end-to-end wall over N "
+                             "executor workers (chunked dispatch)")
+    parser.add_argument("--chunk", type=int, default=None, metavar="K",
+                        help="cells per dispatch chunk for --jobs "
+                             "(default auto-tuned)")
+    parser.add_argument("--gate", type=float, default=None, metavar="R",
+                        help="fail if parallel wall > R x serial wall "
+                             "(requires --jobs; skipped on 1-CPU hosts); "
+                             "stat divergence always fails")
     parser.add_argument("--out", default=str(OUT_PATH),
                         help="output JSON path")
     args = parser.parse_args(argv)
@@ -106,14 +186,16 @@ def main(argv=None) -> int:
     scale = args.scale if args.scale is not None else \
         (0.25 if args.quick else 1.0)
 
-    serial = _serial_pass(kernels, scale, args.scheduler, args.commit,
-                          max(1, args.reps))
+    # pre-build every trace so neither pass's wall measures generation
+    traces = build_suite(scale, kernels)
+    serial, serial_stats, serial_wall = _serial_pass(
+        kernels, scale, args.scheduler, args.commit, max(1, args.reps))
     total_cycles = sum(row["cycles"] for row in serial.values())
     total_seconds = sum(row["seconds"] for row in serial.values())
     geomean = math.exp(sum(math.log(row["kcps"])
                            for row in serial.values()) / len(serial))
     report = {
-        "schema": "bench-speed/1",
+        "schema": "bench-speed/2",
         "scale": scale,
         "reps": max(1, args.reps),
         "scheduler": args.scheduler,
@@ -122,15 +204,20 @@ def main(argv=None) -> int:
         "summary": {
             "total_cycles": total_cycles,
             "total_seconds": round(total_seconds, 4),
+            "serial_wall_seconds": round(serial_wall, 4),
             "kcps": round(total_cycles / total_seconds / 1e3, 1)
             if total_seconds > 0 else 0.0,
             "geomean_kcps": round(geomean, 1),
         },
     }
     if args.jobs > 1:
-        report["parallel"] = _parallel_pass(kernels, scale,
-                                            args.scheduler, args.commit,
-                                            args.jobs)
+        report["parallel"] = _parallel_pass(
+            traces, args.scheduler, args.commit, args.jobs, args.chunk,
+            serial_stats, serial_wall)
+
+    exit_code = 0
+    if args.gate is not None and "parallel" in report:
+        exit_code = _apply_gate(report, args.gate)
 
     out_path = pathlib.Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -148,10 +235,14 @@ def main(argv=None) -> int:
           f"kcps (geomean {summary['geomean_kcps']:.1f})")
     if "parallel" in report:
         par = report["parallel"]
-        print(f"  parallel x{par['jobs']}: {par['wall_seconds']:.3f}s "
-              f"wall, {par['kcps']:.1f} kcps aggregate")
+        print(f"  parallel x{par['jobs']} (chunk {par['chunk']}): "
+              f"{par['wall_seconds']:.3f}s wall vs "
+              f"{par['serial_wall_seconds']:.3f}s serial "
+              f"({par['speedup']:.2f}x, {par['kcps']:.1f} kcps, "
+              f"{par['trace_cache_hits']} trace-LRU hits, "
+              f"stats {'identical' if par['identical'] else 'DIVERGED'})")
     print(f"wrote {out_path}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

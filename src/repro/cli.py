@@ -18,8 +18,10 @@ Commands mirror the paper's evaluation artefacts:
 
 Experiment commands accept ``--jobs N`` (parallel simulation workers,
 default ``$REPRO_JOBS``), ``--no-cache`` (bypass the on-disk result
-cache under ``benchmarks/.cache/``) and ``--timeout S`` (per-cell
-limit on the worker path, default ``$REPRO_CELL_TIMEOUT``).
+cache under ``benchmarks/.cache/``), ``--timeout S`` (per-cell limit
+on the worker path, default ``$REPRO_CELL_TIMEOUT``) and ``--chunk K``
+(cells per worker dispatch batch, default ``$REPRO_CHUNK`` or
+auto-tuned).
 """
 
 from __future__ import annotations
@@ -53,6 +55,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="per-cell timeout in seconds when running "
                              "with workers (default $REPRO_CELL_TIMEOUT; "
                              "timed-out cells are reported, not fatal)")
+    parser.add_argument("--chunk", type=int, default=None, metavar="K",
+                        help="cells per worker dispatch batch (default "
+                             "$REPRO_CHUNK, else auto-tuned from per-cell "
+                             "time estimates; 1 disables batching)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,7 +174,7 @@ def _exec_opts(args) -> dict:
     library default which requires ``$REPRO_CACHE=1``.
     """
     return {"workers": args.jobs, "use_cache": not args.no_cache,
-            "timeout": args.timeout}
+            "timeout": args.timeout, "chunk": args.chunk}
 
 
 def _cmd_bench(args) -> str:

@@ -215,6 +215,19 @@ class ResultCache:
     def put(self, key: str, stats: SimStats) -> None:
         self._store(self._path(key), stats_to_dict(stats))
 
+    def get_many(self, keys) -> Dict[str, SimStats]:
+        """Probe many keys at once; returns only the hits.
+
+        Duplicate keys (several cells sharing one cache entry) are
+        loaded — and counted toward ``hits``/``misses`` — once.
+        """
+        found: Dict[str, SimStats] = {}
+        for key in dict.fromkeys(keys):
+            stats = self.get(key)
+            if stats is not None:
+                found[key] = stats
+        return found
+
     # -- criticality profiles ---------------------------------------------
 
     def get_profile(self, key: str

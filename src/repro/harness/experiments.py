@@ -96,7 +96,8 @@ def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
           preset: str = "base", progress: bool = False,
           workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
-          timeout: Optional[float] = None) -> ExperimentResult:
+          timeout: Optional[float] = None,
+          chunk: Optional[int] = None) -> ExperimentResult:
     """Figure 14: IPC improvements of priority scheduling.
 
     Baseline AGE; comparisons MULT, Orinoco, CRI w/ AGE, CRI w/ Orinoco
@@ -119,7 +120,7 @@ def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
     jobs += jobs_for("CRI w/ Orinoco", base.with_policies(scheduler="cri"),
                      traces, profile_config)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout)
+                        progress=progress, timeout=timeout, chunk=chunk)
     return _collect(results, "AGE", "Figure 14",
                     "IPC improvement of priority scheduling over AGE")
 
@@ -142,7 +143,8 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
           preset: str = "base", progress: bool = False,
           workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
-          timeout: Optional[float] = None) -> ExperimentResult:
+          timeout: Optional[float] = None,
+          chunk: Optional[int] = None) -> ExperimentResult:
     """Figure 15: IPC improvements of out-of-order commit over IOC
     (all with the AGE scheduler, as in the paper's baseline)."""
     traces = build_suite(scale, names)
@@ -152,7 +154,7 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
     for label, commit in FIG15_CONFIGS.items():
         jobs += jobs_for(label, base.with_policies(commit=commit), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout)
+                        progress=progress, timeout=timeout, chunk=chunk)
     return _collect(results, "IOC", "Figure 15",
                     "IPC improvement of out-of-order commit over IOC")
 
@@ -160,7 +162,8 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
 def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
           progress: bool = False, workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
-          timeout: Optional[float] = None) -> ExperimentResult:
+          timeout: Optional[float] = None,
+          chunk: Optional[int] = None) -> ExperimentResult:
     """Figure 16: sensitivity to core size (Base / Pro / Ultra).
 
     For each size, speedups of priority scheduling (Orinoco issue),
@@ -182,7 +185,7 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
             jobs += jobs_for(f"{preset}: {kind}",
                              base.with_policies(**policies), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout)
+                        progress=progress, timeout=timeout, chunk=chunk)
     experiment = ExperimentResult(
         "Figure 16", "normalized performance sensitivity",
         baseline_label="AGE+IOC", results=results)
@@ -209,7 +212,8 @@ def stall_breakdown(scale: float = 1.0,
                     progress: bool = False,
                     workers: Optional[int] = None,
                     use_cache: Optional[bool] = None,
-                    timeout: Optional[float] = None
+                    timeout: Optional[float] = None,
+                    chunk: Optional[int] = None
                     ) -> Dict[str, Dict[str, float]]:
     """§2.2 / §6.2 statistics.
 
@@ -227,7 +231,7 @@ def stall_breakdown(scale: float = 1.0,
             + jobs_for("Orinoco", base.with_policies(commit="orinoco"),
                        traces))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout)
+                        progress=progress, timeout=timeout, chunk=chunk)
     out: Dict[str, Dict[str, float]] = {}
     for label in ("IOC", "Orinoco"):
         result = results[label]

@@ -55,16 +55,17 @@ from ..criticality import CriticalityTagger, clear_tags
 from ..envutil import env_flag
 from ..pipeline import CoreConfig, O3Core, SimStats
 from ..testing import faults
-from ..workloads import SUITE, build_trace
+from ..workloads import SUITE, fetch_trace, generation_params
 from .cache import ResultCache, cache_key
 from .diagnostics import build_crash_bundle, write_bundle
 from .resilience import (CellFailure, CellStatus, SuiteInterrupted,
                          TaskOutcome, TaskSpec, default_cell_timeout,
-                         default_max_retries, get_pool, next_task_id,
-                         shutdown_pools)
+                         default_chunk_size, default_max_retries,
+                         get_pool, next_task_id, shutdown_pools)
 
 __all__ = ["Job", "ProfileData", "default_use_cache", "default_workers",
-           "jobs_for", "run_suite", "shutdown_pools"]
+           "estimate_cell_seconds", "jobs_for", "run_suite",
+           "shutdown_pools"]
 
 #: pc_l1_misses, pc_mispredicts — the profile payload fed to the tagger
 ProfileData = Tuple[Dict[int, int], Dict[int, int]]
@@ -101,6 +102,26 @@ def default_use_cache() -> bool:
     return env_flag("REPRO_CACHE", default=False)
 
 
+#: crude generation-parameter-to-seconds calibration for chunk sizing:
+#: suite kernels emit ~12 trace instructions per size-parameter unit
+#: and the engine sustains ~20 kcycles/sec at ~1.3 cycles/instr
+_SECONDS_PER_PARAM_UNIT = 1.0 / 1300.0
+
+
+def estimate_cell_seconds(workload: str, scale: float = 1.0) -> float:
+    """Order-of-magnitude wall-clock estimate for one cell.
+
+    Only used to auto-size dispatch chunks (``TaskSpec.est_seconds``);
+    an estimate that is off by a few× merely changes how many cells
+    share a pipe round-trip, never what they compute.
+    """
+    try:
+        params = generation_params(workload, scale)
+    except ValueError:
+        return 0.0
+    return sum(params.values()) * _SECONDS_PER_PARAM_UNIT
+
+
 def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
              profile_config: Optional[CoreConfig] = None) -> List[Job]:
     """Jobs covering ``traces`` (suite-registry traces only)."""
@@ -117,8 +138,13 @@ def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
 
 # -- worker protocol -------------------------------------------------------
 # Top-level functions so they pickle by reference under spawn.  Workers
-# import repro afresh, rebuild the trace from the registry, simulate,
-# and return (picklable) SimStats plus the cell's wall-clock seconds.
+# import repro afresh, fetch the trace through the bounded in-process
+# LRU (:func:`repro.workloads.fetch_trace` — rebuilt from the registry
+# on a miss, never pickled), simulate, and return (picklable) SimStats
+# plus the cell's wall-clock seconds and whether its trace was an LRU
+# hit.  Because worker processes persist across chunks and run_suite
+# calls, and the parent sorts cells so same-workload cells share a
+# chunk, successive cells stop re-generating megabyte traces.
 # The _simulate_* pair is the bare reference path (used in-process when
 # workers <= 1); the _guarded_* pair wraps it for the dispatcher —
 # applying injected faults and converting exceptions into failure
@@ -127,7 +153,7 @@ def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
 def _simulate_profile(task) -> Tuple[Dict[int, int], Dict[int, int], float]:
     """Stage 1: profile run → per-PC L1-miss / misprediction counts."""
     config, workload, scale = task
-    trace = build_trace(workload, scale)
+    trace, _hit = fetch_trace(workload, scale)
     start = time.perf_counter()
     core = O3Core(trace, config)
     core.run()
@@ -136,16 +162,17 @@ def _simulate_profile(task) -> Tuple[Dict[int, int], Dict[int, int], float]:
 
 
 def _simulate_cell(task, subscribers: Sequence = ()
-                   ) -> Tuple[SimStats, float]:
+                   ) -> Tuple[SimStats, float, bool]:
     """Stage 2: simulate one cell (tagging first for criticality runs).
 
     Tagging happens *inside* the try so a crash mid-``tag`` (partial
     tags) still clears the shared in-process trace on the way out.
     ``subscribers`` are attached to the core's event bus before the
-    run (fault injection; empty on the reference path).
+    run (fault injection; empty on the reference path).  Returns
+    ``(stats, seconds, trace_was_cache_hit)``.
     """
     config, workload, scale, profile = task
-    trace = build_trace(workload, scale)
+    trace, trace_hit = fetch_trace(workload, scale)
     start = time.perf_counter()
     if profile is None:
         core = O3Core(trace, config)
@@ -163,7 +190,7 @@ def _simulate_cell(task, subscribers: Sequence = ()
             stats = core.run()
         finally:
             clear_tags(trace)
-    return stats, time.perf_counter() - start
+    return stats, time.perf_counter() - start, trace_hit
 
 
 def _guarded_profile(payload, attempt: int):
@@ -193,9 +220,9 @@ def _guarded_cell(payload, attempt: int):
     exploder = faults.explode_subscriber(specs, cell_id, attempt)
     subscribers = (exploder,) if exploder is not None else ()
     try:
-        stats, elapsed = _simulate_cell(
+        stats, elapsed, trace_hit = _simulate_cell(
             (config, workload, scale, profile), subscribers)
-        return "ok", (stats, elapsed)
+        return "ok", (stats, elapsed, trace_hit)
     except Exception as exc:
         tb = traceback.format_exc()
         bundle = build_crash_bundle(
@@ -217,6 +244,10 @@ class _CellRecord:
     stats: Optional[SimStats] = None
     elapsed: float = 0.0
     failure: Optional[CellFailure] = None
+    #: seconds spent waiting for a worker (enqueue → actual dispatch)
+    queued: float = 0.0
+    #: did the cell's trace come from the in-process/in-worker LRU?
+    trace_hit: bool = False
 
 
 def _finalize_failure(failure: Optional[CellFailure]
@@ -235,18 +266,25 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               progress: bool = False,
               timeout: Optional[float] = None,
-              retries: Optional[int] = None) -> Dict[str, "SuiteResult"]:
+              retries: Optional[int] = None,
+              chunk: Optional[int] = None) -> Dict[str, "SuiteResult"]:
     """Execute every job; return ``{label: SuiteResult}`` in job order.
 
     ``workers=None`` reads ``$REPRO_JOBS``; ``workers<=1`` runs
     in-process (the bit-identical serial reference path, where
     exceptions propagate and no faults are injected).  ``cache``
-    short-circuits cells (and profiles) already on disk and receives
-    each completed cell as it finishes.  ``timeout`` (seconds;
-    ``None`` reads ``$REPRO_CELL_TIMEOUT``) bounds each cell on the
-    worker path; ``retries`` (``None`` reads ``$REPRO_RETRIES``)
-    bounds crash retries.  Failed cells come back as annotated holes
-    in the :class:`SuiteResult`, never as raised exceptions.
+    short-circuits cells (and profiles) already on disk — resolved in
+    the parent *before* dispatch, so a fully warm sweep never spawns a
+    worker — and receives each completed cell as it finishes.
+    ``timeout`` (seconds; ``None`` reads ``$REPRO_CELL_TIMEOUT``)
+    bounds each cell on the worker path; ``retries`` (``None`` reads
+    ``$REPRO_RETRIES``) bounds crash retries.  ``chunk`` (``None``
+    reads ``$REPRO_CHUNK``, 0/unset → auto-size from per-cell timing
+    estimates) sets how many cells share one dispatch round-trip; the
+    dispatch order additionally groups cells by (workload, scale) so
+    chunk-mates hit the worker-side trace LRU.  Failed cells come
+    back as annotated holes in the :class:`SuiteResult`, never as
+    raised exceptions.
     """
     from .runner import SuiteResult          # local: avoid import cycle
     if workers is None:
@@ -255,6 +293,8 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
         timeout = default_cell_timeout()
     if retries is None:
         retries = default_max_retries()
+    if chunk is None:
+        chunk = default_chunk_size()
     # the fault programme is sampled here, in the parent, and travels
     # inside task payloads: persistent pools may predate the env var,
     # and a typo'd programme must fail the suite, not silently no-op
@@ -270,15 +310,17 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
                 fault_specs, jobs[index].cell_id,
                 cache.path_for(cell_keys[index]))
 
-    # cached cells short-circuit everything, including their profiles
+    # cached cells short-circuit everything, including their profiles;
+    # resolving them here, before any dispatch, means a fully warm
+    # sweep never touches (or spawns) the worker pool at all
     cell_keys = [cache_key(job.config, job.workload, job.scale,
                            job.profile_config) for job in jobs]
     records: Dict[int, _CellRecord] = {}
     if cache is not None:
-        for index in range(len(jobs)):
-            hit = cache.get(cell_keys[index])
-            if hit is not None:
-                records[index] = _CellRecord(CellStatus.CACHED, hit)
+        hits = cache.get_many(cell_keys)
+        for index, key in enumerate(cell_keys):
+            if key in hits:
+                records[index] = _CellRecord(CellStatus.CACHED, hits[key])
 
     # stage 1: one profile simulation per unique (profile, workload) cell
     profile_keys = {}                        # job index -> profile cell key
@@ -311,11 +353,14 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
                 cache.put_profile(key, misses, mispredicts)
     elif pending:
         specs, key_of = [], {}
-        for key, (config, name, scale) in pending:
+        # affinity: same-workload profiles share a chunk → trace LRU hits
+        for key, (config, name, scale) in sorted(
+                pending, key=lambda kv: (kv[1][1], kv[1][2])):
             spec = TaskSpec(next_task_id(), f"profile/{name}",
                             _guarded_profile,
                             (f"profile/{name}", config, name, scale,
-                             faults_text))
+                             faults_text),
+                            est_seconds=estimate_cell_seconds(name, scale))
             specs.append(spec)
             key_of[spec.task_id] = key
 
@@ -330,7 +375,7 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
                 cache.put_profile(key_of[spec.task_id], misses, mispredicts)
 
         get_pool(workers).run(specs, timeout=timeout, retries=retries,
-                              on_complete=profile_done)
+                              on_complete=profile_done, chunk=chunk)
 
     # stage 2: the remaining runs
     if progress:
@@ -347,16 +392,25 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
                 job = jobs[index]
                 profile = profiles[profile_keys[index]] \
                     if index in profile_keys else None
-                stats, elapsed = _simulate_cell(
+                stats, elapsed, trace_hit = _simulate_cell(
                     (job.config, job.workload, job.scale, profile))
-                records[index] = _CellRecord(CellStatus.OK, stats, elapsed)
+                records[index] = _CellRecord(CellStatus.OK, stats, elapsed,
+                                             trace_hit=trace_hit)
                 flush_cell(index, stats)
         except KeyboardInterrupt:
             done = [jobs[i].cell_id for i in task_indices if i in records]
             raise SuiteInterrupted(done, len(task_indices)) from None
     else:
         specs, index_of = [], {}
-        for index in task_indices:
+        # affinity scheduling: dispatch same-(workload, scale) cells
+        # adjacently so they land in the same chunk (and therefore the
+        # same worker), maximising the worker-side trace-LRU hit rate.
+        # Outcomes are keyed by task id and assembled in job order
+        # below, so dispatch order never affects results.
+        ordered = sorted(task_indices,
+                         key=lambda i: (jobs[i].workload, jobs[i].scale,
+                                        jobs[i].label))
+        for index in ordered:
             job = jobs[index]
             key = profile_keys.get(index)
             if key is not None and key not in profiles:
@@ -375,23 +429,29 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
             spec = TaskSpec(next_task_id(), job.cell_id, _guarded_cell,
                             (job.label, job.config, job.workload,
                              job.scale, profile, job.profile_config,
-                             faults_text))
+                             faults_text),
+                            est_seconds=estimate_cell_seconds(
+                                job.workload, job.scale))
             specs.append(spec)
             index_of[spec.task_id] = index
 
         def cell_done(spec: TaskSpec, outcome: TaskOutcome) -> None:
             index = index_of[spec.task_id]
             if outcome.status is CellStatus.OK:
-                stats, elapsed = outcome.value
-                records[index] = _CellRecord(CellStatus.OK, stats, elapsed)
+                stats, elapsed, trace_hit = outcome.value
+                records[index] = _CellRecord(CellStatus.OK, stats, elapsed,
+                                             queued=outcome.queued_s,
+                                             trace_hit=trace_hit)
                 flush_cell(index, stats)
             else:
                 records[index] = _CellRecord(
                     outcome.status,
-                    failure=_finalize_failure(outcome.failure))
+                    failure=_finalize_failure(outcome.failure),
+                    queued=outcome.queued_s)
 
-        get_pool(workers).run(specs, timeout=timeout, retries=retries,
-                              on_complete=cell_done)
+        if specs:                        # a warm sweep spawns no workers
+            get_pool(workers).run(specs, timeout=timeout, retries=retries,
+                                  on_complete=cell_done, chunk=chunk)
         for spec in specs:               # backstop: no task goes missing
             index = index_of[spec.task_id]
             if index not in records:
@@ -408,7 +468,9 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
             result = results[job.label] = SuiteResult(job.label, job.config)
         result.statuses[job.workload] = record.status
         result.timings[job.workload] = record.elapsed
+        result.queued[job.workload] = record.queued
         result.cached[job.workload] = record.status is CellStatus.CACHED
+        result.trace_hits[job.workload] = record.trace_hit
         if record.stats is not None:
             result.stats[job.workload] = record.stats
         if record.failure is not None:

@@ -12,6 +12,21 @@ built for graceful degradation:
   :func:`multiprocessing.connection.wait` call that collects results.
   A SIGKILLed worker can never leave a shared lock held (there is
   none) and never wedges the parent.
+* **Batched (chunked) dispatch.**  Short cells used to pay one pipe
+  round-trip each; :meth:`ResilientPool.run` now sends each worker a
+  *chunk* of tasks per message, sized automatically from the per-cell
+  timing estimates carried on :class:`TaskSpec` (``--chunk`` /
+  ``$REPRO_CHUNK`` override).  The worker streams **one result per
+  cell** back up the pipe as it finishes, so per-cell statuses,
+  timeout accounting, and interrupt reporting are unchanged — the
+  chunk is a transport optimisation, not a unit of failure.  The cell
+  a worker is executing is always the first chunk member without a
+  result (cells run in order), which is how a mid-chunk death is
+  attributed to the right cell: finished chunk-mates keep their
+  results, the in-flight cell is retried or failed, and not-yet-
+  started chunk-mates are re-queued with no attempt penalty.  Cells
+  on their retry attempt are dispatched alone so a hard-crashing cell
+  cannot repeatedly evict innocent chunk-mates.
 * **Per-cell timeouts.**  Every in-flight cell carries a deadline
   (``timeout`` argument, ``$REPRO_CELL_TIMEOUT`` default); a cell past
   its deadline has its worker killed, the cell is recorded as
@@ -55,7 +70,8 @@ from ..envutil import env_float, env_int
 
 __all__ = ["CellFailure", "CellStatus", "ResilientPool", "SuiteInterrupted",
            "TaskOutcome", "TaskSpec", "default_cell_timeout",
-           "default_max_retries", "get_pool", "shutdown_pools"]
+           "default_chunk_size", "default_max_retries", "get_pool",
+           "shutdown_pools"]
 
 
 class CellStatus(str, enum.Enum):
@@ -110,6 +126,9 @@ class TaskSpec:
     cell_id: str
     func: Callable
     payload: tuple
+    #: rough wall-clock estimate for this cell (seconds; 0 = unknown),
+    #: used only to auto-size dispatch chunks — never affects results
+    est_seconds: float = 0.0
 
 
 @dataclass
@@ -118,6 +137,9 @@ class TaskOutcome:
     value: object = None
     failure: Optional[CellFailure] = None
     attempts: int = 1
+    #: seconds the task waited between enqueue and actual dispatch to
+    #: a worker (0 on the serial path and for cache hits)
+    queued_s: float = 0.0
 
 
 class SuiteInterrupted(KeyboardInterrupt):
@@ -144,12 +166,24 @@ def default_max_retries() -> int:
     return max(0, env_int("REPRO_RETRIES", 1))
 
 
+def default_chunk_size() -> Optional[int]:
+    """Dispatch chunk size from ``$REPRO_CHUNK`` (unset/0 → auto)."""
+    value = env_int("REPRO_CHUNK", 0)
+    return value if value > 0 else None
+
+
 # -- worker side -----------------------------------------------------------
 
 def _worker_main(conn) -> None:
-    """Worker loop: recv (task_id, func, payload, attempt) → send
-    (task_id, status, value).  SIGINT is ignored so Ctrl-C interrupts
-    only the parent, which then tears the pool down deliberately."""
+    """Worker loop: recv a *chunk* ``[(task_id, func, payload,
+    attempt), ...]`` → send one ``(task_id, status, value)`` per cell,
+    in order, as each finishes.  Results stream back immediately so
+    the parent always knows which cell is in flight (the first one it
+    has no result for) and a mid-chunk death loses at most one cell's
+    work.  Any in-process memoisation the task funcs maintain (the
+    workload trace LRU) naturally persists across chunks because the
+    process does.  SIGINT is ignored so Ctrl-C interrupts only the
+    parent, which then tears the pool down deliberately."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     while True:
         try:
@@ -158,25 +192,32 @@ def _worker_main(conn) -> None:
             break
         if message is None:
             break
-        task_id, func, payload, attempt = message
-        try:
-            status, value = func(payload, attempt)
-        except BaseException as exc:    # belt and braces: guarded funcs
-            status = "error"            # should not raise
-            value = {"kind": "exception",
-                     "message": f"{type(exc).__name__}: {exc}",
-                     "traceback": traceback.format_exc(),
-                     "bundle": None}
-        try:
-            conn.send((task_id, status, value))
-        except (BrokenPipeError, OSError):
-            break
+        for task_id, func, payload, attempt in message:
+            try:
+                status, value = func(payload, attempt)
+            except BaseException as exc:  # belt and braces: guarded
+                status = "error"          # funcs should not raise
+                value = {"kind": "exception",
+                         "message": f"{type(exc).__name__}: {exc}",
+                         "traceback": traceback.format_exc(),
+                         "bundle": None}
+            try:
+                conn.send((task_id, status, value))
+            except (BrokenPipeError, OSError):
+                return
 
 
 class _WorkerHandle:
-    """A live worker process plus its pipe and current assignment."""
+    """A live worker process plus its pipe and current chunk.
 
-    __slots__ = ("proc", "conn", "task", "attempt", "deadline")
+    ``chunk[cursor]`` is the in-flight cell: cells run strictly in
+    chunk order and results stream back per cell, so the first member
+    without a result is — by construction — the one a death or
+    timeout must be attributed to.
+    """
+
+    __slots__ = ("proc", "conn", "chunk", "cursor", "deadline",
+                 "dispatched_at")
 
     def __init__(self, ctx):
         parent_conn, child_conn = ctx.Pipe()
@@ -185,9 +226,19 @@ class _WorkerHandle:
         self.proc.start()
         child_conn.close()
         self.conn = parent_conn
-        self.task: Optional[TaskSpec] = None
-        self.attempt = 0
+        self.chunk: List["_Pending"] = []
+        self.cursor = 0
         self.deadline: Optional[float] = None
+        #: when the in-flight cell was handed to the worker (monotonic)
+        self.dispatched_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.cursor < len(self.chunk)
+
+    @property
+    def inflight(self) -> "_Pending":
+        return self.chunk[self.cursor]
 
     def close(self, kill: bool = False) -> None:
         try:
@@ -211,6 +262,9 @@ class _Pending:
     task: TaskSpec
     attempt: int = 1
     eligible_at: float = 0.0
+    #: when the task entered this run's queue (monotonic); survives
+    #: chunk re-queues so queued_s reports true waiting time
+    enqueued_at: float = 0.0
 
 
 class ResilientPool:
@@ -219,7 +273,8 @@ class ResilientPool:
     Pools persist across :meth:`run` calls (worker spawn + import is
     paid once per process lifetime, as with the seed's ``Pool``); the
     dispatcher replaces any worker it loses, so a pool survives its
-    workers indefinitely.
+    workers indefinitely.  :meth:`resize` grows or shrinks the pool in
+    place, so a one-off wide run never strands idle spawn processes.
     """
 
     #: capped exponential backoff for crash retries (seconds)
@@ -227,6 +282,14 @@ class ResilientPool:
     BACKOFF_CAP = 4.0
     #: dispatch-loop poll ceiling (seconds)
     POLL = 0.5
+    #: auto chunk sizing: aim for ~this much estimated work per
+    #: round-trip; small enough that timeouts and load balancing keep
+    #: their granularity, large enough to amortise dispatch overhead
+    CHUNK_TARGET_SECONDS = 1.0
+    #: auto chunk size when tasks carry no timing estimates
+    CHUNK_DEFAULT = 4
+    #: hard ceiling on auto-sized chunks
+    CHUNK_CAP = 32
 
     def __init__(self, workers: int):
         self.workers = workers
@@ -243,6 +306,19 @@ class ResilientPool:
         self.handles[self.handles.index(handle)] = replacement
         return replacement
 
+    def resize(self, workers: int) -> None:
+        """Grow or shrink the pool to exactly ``workers`` processes.
+
+        Only valid between :meth:`run` calls (every handle idle):
+        surplus workers are retired gracefully, missing ones spawned.
+        """
+        workers = max(1, workers)
+        while len(self.handles) > workers:
+            self.handles.pop().close()
+        while len(self.handles) < workers:
+            self.handles.append(_WorkerHandle(self.ctx))
+        self.workers = workers
+
     def shutdown(self, kill: bool = False) -> None:
         for handle in self.handles:
             handle.close(kill=kill)
@@ -254,16 +330,24 @@ class ResilientPool:
             timeout: Optional[float] = None,
             retries: int = 0,
             on_complete: Optional[Callable[[TaskSpec, TaskOutcome],
-                                           None]] = None
-            ) -> Dict[int, TaskOutcome]:
+                                           None]] = None,
+            chunk: Optional[int] = None) -> Dict[int, TaskOutcome]:
         """Execute every task; return ``{task_id: TaskOutcome}``.
 
-        Never raises for a failing *task*; raises
-        :class:`SuiteInterrupted` on Ctrl-C after killing the pool.
+        ``chunk`` fixes the number of cells per dispatch message
+        (``None`` auto-sizes from the tasks' ``est_seconds``).  The
+        ``timeout`` stays **per cell**: the deadline re-arms each time
+        a chunk member's result arrives.  Never raises for a failing
+        *task*; raises :class:`SuiteInterrupted` on Ctrl-C after
+        killing the pool.
         """
+        start = time.monotonic()
         outcomes: Dict[int, TaskOutcome] = {}
-        pending: List[_Pending] = [_Pending(task) for task in tasks]
+        pending: List[_Pending] = [_Pending(task, enqueued_at=start)
+                                   for task in tasks]
         completed_cells: List[str] = []
+        chunk_size = chunk if chunk and chunk > 0 else \
+            self._auto_chunk(tasks)
 
         def finish(task: TaskSpec, outcome: TaskOutcome) -> None:
             outcomes[task.task_id] = outcome
@@ -275,8 +359,8 @@ class ResilientPool:
         try:
             while len(outcomes) < len(tasks):
                 now = time.monotonic()
-                self._assign(pending, now, timeout)
-                busy = [h for h in self.handles if h.task is not None]
+                self._assign(pending, now, timeout, chunk_size)
+                busy = [h for h in self.handles if h.busy]
                 if not busy:
                     if not pending:
                         break            # all accounted for
@@ -287,20 +371,27 @@ class ResilientPool:
                 self._wait(busy, pending, now, timeout)
                 now = time.monotonic()
                 for handle in busy:
-                    if handle.task is None:
+                    if not handle.busy:
                         continue
                     # a dead worker's pipe end reads as EOF, so poll()
                     # is True for results AND for death — _collect
-                    # disambiguates and reports EOF as not-collected
-                    if handle.conn.poll() and self._collect(handle,
-                                                            finish):
+                    # disambiguates and reports EOF as not-collected.
+                    # Drain every buffered result: a dying worker's
+                    # completed chunk-mates are collected before the
+                    # death is handled, so their work is never lost.
+                    dead = False
+                    while handle.busy and handle.conn.poll():
+                        if not self._collect(handle, finish, timeout):
+                            dead = True
+                            break
+                    if not handle.busy:
                         continue
-                    if not handle.proc.is_alive() or handle.conn.poll():
+                    if dead or not handle.proc.is_alive():
                         self._on_death(handle, pending, retries, now,
                                        finish)
                     elif (handle.deadline is not None
                           and now >= handle.deadline):
-                        self._on_timeout(handle, finish)
+                        self._on_timeout(handle, pending, finish)
         except KeyboardInterrupt:
             # kill, don't drain: a hung worker would block a graceful
             # close.  Completed cells were already flushed via
@@ -312,27 +403,54 @@ class ResilientPool:
 
     # -- loop steps --------------------------------------------------------
 
+    def _auto_chunk(self, tasks: Sequence[TaskSpec]) -> int:
+        """Chunk size targeting ``CHUNK_TARGET_SECONDS`` of estimated
+        work per round-trip, never starving a worker of its share."""
+        if not tasks:
+            return 1
+        estimates = sorted(t.est_seconds for t in tasks
+                           if t.est_seconds > 0)
+        if estimates:
+            typical = estimates[len(estimates) // 2]
+            size = int(self.CHUNK_TARGET_SECONDS / typical) \
+                if typical > 0 else self.CHUNK_CAP
+        else:
+            size = self.CHUNK_DEFAULT
+        fair_share = -(-len(tasks) // max(1, len(self.handles) or
+                                          self.workers))
+        return max(1, min(size, fair_share, self.CHUNK_CAP))
+
     def _assign(self, pending: List[_Pending], now: float,
-                timeout: Optional[float]) -> None:
+                timeout: Optional[float], chunk_size: int) -> None:
         for handle in self.handles:
-            if handle.task is not None:
+            if handle.busy:
                 continue
-            index = next((i for i, p in enumerate(pending)
-                          if p.eligible_at <= now), None)
-            if index is None:
+            eligible = [i for i, p in enumerate(pending)
+                        if p.eligible_at <= now]
+            if not eligible:
                 return
-            item = pending[index]
+            # retry attempts ride alone: a hard-crashing cell must not
+            # take fresh chunk-mates down with it on every attempt
+            if pending[eligible[0]].attempt > 1:
+                take = eligible[:1]
+            else:
+                take = [i for i in eligible
+                        if pending[i].attempt == 1][:chunk_size]
+            items = [pending[i] for i in take]
             if not handle.proc.is_alive():   # died while idle
                 handle = self._respawn(handle)
             try:
-                handle.conn.send((item.task.task_id, item.task.func,
-                                  item.task.payload, item.attempt))
+                handle.conn.send([(p.task.task_id, p.task.func,
+                                   p.task.payload, p.attempt)
+                                  for p in items])
             except (BrokenPipeError, OSError):
                 self._respawn(handle)        # retry next loop iteration
                 return
-            del pending[index]
-            handle.task = item.task
-            handle.attempt = item.attempt
+            for i in reversed(take):
+                del pending[i]
+            handle.chunk = items
+            handle.cursor = 0
+            handle.dispatched_at = now
             handle.deadline = (now + timeout) if timeout else None
 
     def _wait(self, busy: List[_WorkerHandle], pending: List[_Pending],
@@ -345,19 +463,32 @@ class ResilientPool:
             multiprocessing.connection.wait(waitable, timeout=poll)
 
     def _collect(self, handle: _WorkerHandle,
-                 finish: Callable[[TaskSpec, TaskOutcome], None]) -> bool:
+                 finish: Callable[[TaskSpec, TaskOutcome], None],
+                 timeout: Optional[float]) -> bool:
         """Consume one result; False when poll() was EOF (dead worker)."""
-        task, attempt = handle.task, handle.attempt
+        item = handle.inflight
         try:
             task_id, status, value = handle.conn.recv()
         except (EOFError, OSError):
             return False                 # pipe closed: the worker died
-        if task_id != task.task_id:      # cannot happen: one in-flight
-            return True                  # task per pipe; drop stale data
-        handle.task, handle.deadline = None, None
+        if task_id != item.task.task_id:  # cannot happen: in-order
+            return True                   # streaming; drop stale data
+        task, attempt = item.task, item.attempt
+        queued = max(0.0, handle.dispatched_at - item.enqueued_at)
+        handle.cursor += 1
+        if handle.busy:
+            # the next chunk member started in-worker the moment this
+            # result was sent: re-arm its per-cell deadline and stamp
+            # its dispatch time
+            now = time.monotonic()
+            handle.dispatched_at = now
+            handle.deadline = (now + timeout) if timeout else None
+        else:
+            handle.chunk, handle.cursor = [], 0
+            handle.deadline = None
         if status == "ok":
             finish(task, TaskOutcome(CellStatus.OK, value=value,
-                                     attempts=attempt))
+                                     attempts=attempt, queued_s=queued))
         else:
             failure = CellFailure(
                 kind=value.get("kind", "exception"),
@@ -366,20 +497,32 @@ class ResilientPool:
                 attempts=attempt,
                 bundle_data=value.get("bundle"))
             finish(task, TaskOutcome(CellStatus.FAILED, failure=failure,
-                                     attempts=attempt))
+                                     attempts=attempt, queued_s=queued))
         return True
+
+    def _requeue_survivors(self, handle: _WorkerHandle,
+                           pending: List[_Pending], now: float) -> None:
+        """Chunk members after the in-flight cell never started: put
+        them back at the head of the queue with no attempt penalty."""
+        for item in reversed(handle.chunk[handle.cursor + 1:]):
+            item.eligible_at = now
+            pending.insert(0, item)
 
     def _on_death(self, handle: _WorkerHandle, pending: List[_Pending],
                   retries: int, now: float,
                   finish: Callable[[TaskSpec, TaskOutcome], None]) -> None:
-        task, attempt = handle.task, handle.attempt
+        item = handle.inflight           # the cell that killed it
+        task, attempt = item.task, item.attempt
+        self._requeue_survivors(handle, pending, now)
         handle.proc.join(timeout=5)      # EOF can precede process exit
         exitcode = handle.proc.exitcode
         self._respawn(handle)
         if attempt <= retries:
             backoff = min(self.BACKOFF_CAP,
                           self.BACKOFF_BASE * (2 ** (attempt - 1)))
-            pending.append(_Pending(task, attempt + 1, now + backoff))
+            item.attempt = attempt + 1
+            item.eligible_at = now + backoff
+            pending.append(item)
             return
         failure = CellFailure(
             kind="crash",
@@ -387,25 +530,34 @@ class ResilientPool:
                      f"{task.cell_id}"),
             exitcode=exitcode, attempts=attempt)
         finish(task, TaskOutcome(CellStatus.FAILED, failure=failure,
-                                 attempts=attempt))
+                                 attempts=attempt,
+                                 queued_s=max(0.0, handle.dispatched_at
+                                              - item.enqueued_at)))
 
-    def _on_timeout(self, handle: _WorkerHandle,
+    def _on_timeout(self, handle: _WorkerHandle, pending: List[_Pending],
                     finish: Callable[[TaskSpec, TaskOutcome], None]) -> None:
-        task, attempt = handle.task, handle.attempt
+        item = handle.inflight
+        task, attempt = item.task, item.attempt
+        queued = max(0.0, handle.dispatched_at - item.enqueued_at)
+        self._requeue_survivors(handle, pending, time.monotonic())
         self._respawn(handle, kill=True)
         failure = CellFailure(
             kind="timeout",
             message=f"cell {task.cell_id} exceeded its timeout",
             attempts=attempt)
         finish(task, TaskOutcome(CellStatus.TIMEOUT, failure=failure,
-                                 attempts=attempt))
+                                 attempts=attempt, queued_s=queued))
 
 
 # -- pool registry ---------------------------------------------------------
-# Pools persist across run_suite calls so a pytest session (or a CLI
-# figure with several sub-suites) pays worker spawn + import once.
+# One pool persists across run_suite calls so a pytest session (or a
+# CLI figure with several sub-suites) pays worker spawn + import once.
+# The pool is *resized in place* when a different width is requested:
+# a one-off ``--jobs 8`` run no longer strands 6 idle spawn processes
+# for the rest of the session, and a Ctrl-C (SuiteInterrupted) kills
+# and forgets the pool outright.
 
-_POOLS: Dict[int, ResilientPool] = {}
+_POOL: Optional[ResilientPool] = None
 _TASK_IDS = itertools.count(1)
 
 
@@ -415,24 +567,26 @@ def next_task_id() -> int:
 
 
 def get_pool(workers: int) -> ResilientPool:
-    pool = _POOLS.get(workers)
-    if pool is None or not pool.handles:
-        pool = ResilientPool(workers)
-        _POOLS[workers] = pool
-    return pool
+    global _POOL
+    if _POOL is None or not _POOL.handles:
+        _POOL = ResilientPool(workers)
+    elif _POOL.workers != workers:
+        _POOL.resize(workers)
+    return _POOL
 
 
 def _forget_pool(pool: ResilientPool) -> None:
-    for workers, cached in list(_POOLS.items()):
-        if cached is pool:
-            del _POOLS[workers]
+    global _POOL
+    if _POOL is pool:
+        _POOL = None
 
 
 def shutdown_pools() -> None:
-    """Terminate every cached worker pool (also runs atexit)."""
-    for pool in _POOLS.values():
-        pool.shutdown(kill=True)
-    _POOLS.clear()
+    """Terminate the cached worker pool (also runs atexit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(kill=True)
+        _POOL = None
 
 
 atexit.register(shutdown_pools)

@@ -38,10 +38,19 @@ class SuiteResult:
     label: str
     config: CoreConfig
     stats: Dict[str, SimStats] = field(default_factory=dict)
-    #: per-workload simulation wall-clock seconds (0.0 for cache hits)
+    #: per-workload simulation wall-clock seconds, measured in-worker
+    #: from actual dispatch (0.0 for cache hits) — queue wait is
+    #: reported separately in ``queued`` so durations are never
+    #: inflated by time spent waiting for a free worker
     timings: Dict[str, float] = field(default_factory=dict)
+    #: per-workload seconds spent queued (enqueue → dispatch; 0.0 on
+    #: the serial path and for cache hits)
+    queued: Dict[str, float] = field(default_factory=dict)
     #: per-workload flag: did the cell come from the result cache?
     cached: Dict[str, bool] = field(default_factory=dict)
+    #: per-workload flag: was the cell's trace served from the
+    #: in-process/in-worker trace LRU instead of being regenerated?
+    trace_hits: Dict[str, bool] = field(default_factory=dict)
     #: per-workload terminal status (ok | failed | timeout | cached)
     statuses: Dict[str, CellStatus] = field(default_factory=dict)
     #: per-workload failure detail for non-ok cells
@@ -86,8 +95,16 @@ class SuiteResult:
         """Total simulation wall-clock across cells (cache hits cost 0)."""
         return sum(self.timings.values())
 
+    def queued_seconds(self) -> float:
+        """Total time cells spent waiting for a worker."""
+        return sum(self.queued.values())
+
     def cache_hits(self) -> int:
         return sum(1 for hit in self.cached.values() if hit)
+
+    def trace_cache_hits(self) -> int:
+        """Cells whose trace came from the trace LRU (not rebuilt)."""
+        return sum(1 for hit in self.trace_hits.values() if hit)
 
 
 def resolve_execution(workers: Optional[int] = None,
@@ -116,14 +133,15 @@ def run_config(label: str, config: CoreConfig,
                workers: Optional[int] = None,
                use_cache: Optional[bool] = None,
                cache: Optional[ResultCache] = None,
-               timeout: Optional[float] = None) -> SuiteResult:
+               timeout: Optional[float] = None,
+               chunk: Optional[int] = None) -> SuiteResult:
     """Simulate every trace under ``config`` (via the executor)."""
     if not _registry_backed(traces):
         return _serial_run_config(label, config, traces, progress)
     workers, cache = resolve_execution(workers, use_cache, cache)
     results = run_suite(jobs_for(label, config, traces),
                         workers=workers, cache=cache, progress=progress,
-                        timeout=timeout)
+                        timeout=timeout, chunk=chunk)
     return results.get(label, SuiteResult(label, config))
 
 
@@ -138,7 +156,9 @@ def _serial_run_config(label: str, config: CoreConfig,
         start = time.perf_counter()
         result.stats[name] = O3Core(trace, config).run()
         result.timings[name] = time.perf_counter() - start
+        result.queued[name] = 0.0
         result.cached[name] = False
+        result.trace_hits[name] = False
         result.statuses[name] = CellStatus.OK
     return result
 
@@ -150,7 +170,8 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
                           workers: Optional[int] = None,
                           use_cache: Optional[bool] = None,
                           cache: Optional[ResultCache] = None,
-                          timeout: Optional[float] = None
+                          timeout: Optional[float] = None,
+                          chunk: Optional[int] = None
                           ) -> Dict[str, SuiteResult]:
     """CRI runs for several output configs sharing one profile.
 
@@ -167,7 +188,7 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
     for label, config in specs:
         jobs.extend(jobs_for(label, config, traces, profile_config))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout)
+                        progress=progress, timeout=timeout, chunk=chunk)
     return {label: results.get(label, SuiteResult(label, config))
             for label, config in specs}
 
@@ -200,7 +221,9 @@ def _serial_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
             finally:
                 clear_tags(trace)
             results[label].timings[name] = time.perf_counter() - start
+            results[label].queued[name] = 0.0
             results[label].cached[name] = False
+            results[label].trace_hits[name] = False
             results[label].statuses[name] = CellStatus.OK
     return results
 
@@ -212,13 +235,15 @@ def run_config_with_criticality(label: str, config: CoreConfig,
                                 workers: Optional[int] = None,
                                 use_cache: Optional[bool] = None,
                                 cache: Optional[ResultCache] = None,
-                                timeout: Optional[float] = None
+                                timeout: Optional[float] = None,
+                                chunk: Optional[int] = None
                                 ) -> SuiteResult:
     """One CRI configuration (see :func:`run_criticality_suite`)."""
     results = run_criticality_suite([(label, config)], traces,
                                     profile_config, progress,
                                     workers=workers, use_cache=use_cache,
-                                    cache=cache, timeout=timeout)
+                                    cache=cache, timeout=timeout,
+                                    chunk=chunk)
     return results[label]
 
 

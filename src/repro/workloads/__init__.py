@@ -2,8 +2,11 @@
 
 from . import kernels
 from .suite import (SUITE, build_program, build_suite, build_trace,
-                    generation_params, kernel_names)
+                    clear_trace_cache, fetch_trace, generation_params,
+                    kernel_names, trace_cache_cap, trace_cache_stats)
 from .synthetic import SyntheticSpec
 
 __all__ = ["SUITE", "build_program", "build_suite", "build_trace",
-           "generation_params", "kernel_names", "kernels", "SyntheticSpec"]
+           "clear_trace_cache", "fetch_trace", "generation_params",
+           "kernel_names", "kernels", "trace_cache_cap",
+           "trace_cache_stats", "SyntheticSpec"]

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..envutil import env_int
 from ..isa import Program, Trace, trace_program
 from . import kernels
 
@@ -40,7 +42,32 @@ SUITE: Dict[str, Callable[[float], Program]] = {
     "mcf.multichase": _scaled(kernels.multi_chase, steps=400),
 }
 
-_trace_cache: Dict[tuple, Trace] = {}
+# traces are megabytes of DynInstr, so the cache is a bounded LRU:
+# chunked harness dispatch affines same-workload cells to one process,
+# which keeps the working set small and the hit rate high even with a
+# handful of slots.  ``$REPRO_TRACE_CACHE`` overrides the bound.
+_trace_cache: "OrderedDict[tuple, Trace]" = OrderedDict()
+_trace_hits = 0
+_trace_misses = 0
+
+
+def trace_cache_cap() -> int:
+    """Trace-LRU bound from ``$REPRO_TRACE_CACHE`` (entries, min 1)."""
+    return max(1, env_int("REPRO_TRACE_CACHE", 16))
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters for this process's trace LRU."""
+    return {"hits": _trace_hits, "misses": _trace_misses,
+            "entries": len(_trace_cache)}
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace and re-arm the counters (test hook)."""
+    global _trace_hits, _trace_misses
+    _trace_cache.clear()
+    _trace_hits = 0
+    _trace_misses = 0
 
 
 def kernel_names() -> List[str]:
@@ -71,24 +98,47 @@ def build_program(name: str, scale: float = 1.0) -> Program:
     return factory(scale)
 
 
+def fetch_trace(name: str, scale: float = 1.0) -> Tuple[Trace, bool]:
+    """``(trace, was_cache_hit)`` through the bounded LRU.
+
+    The hit flag feeds the harness's per-cell trace-cache accounting
+    (``SuiteResult.trace_hits``); callers that don't care use
+    :func:`build_trace`.
+    """
+    global _trace_hits, _trace_misses
+    key = (name, scale)
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        _trace_hits += 1
+        return trace, True
+    _trace_misses += 1
+    trace = trace_program(build_program(name, scale),
+                          max_instrs=10_000_000)
+    trace.name = name
+    trace.scale = scale
+    _trace_cache[key] = trace
+    cap = trace_cache_cap()
+    while len(_trace_cache) > cap:
+        _trace_cache.popitem(last=False)
+    return trace, False
+
+
 def build_trace(name: str, scale: float = 1.0,
                 use_cache: bool = True) -> Trace:
-    """Emulate the kernel and return its dynamic trace (cached).
+    """Emulate the kernel and return its dynamic trace (LRU-cached).
 
     Traces are shared objects; runs that mutate per-instruction tags
     (criticality) must clear them afterwards
     (:func:`repro.criticality.clear_tags`).
     """
-    key = (name, scale)
-    if use_cache and key in _trace_cache:
-        return _trace_cache[key]
-    trace = trace_program(build_program(name, scale),
-                          max_instrs=10_000_000)
-    trace.name = name
-    trace.scale = scale
-    if use_cache:
-        _trace_cache[key] = trace
-    return trace
+    if not use_cache:
+        trace = trace_program(build_program(name, scale),
+                              max_instrs=10_000_000)
+        trace.name = name
+        trace.scale = scale
+        return trace
+    return fetch_trace(name, scale)[0]
 
 
 def build_suite(scale: float = 1.0,

@@ -77,6 +77,21 @@ class TestDeterminism:
                     fields(serial_reference[label][name]), \
                     f"{label}/{name} diverged at workers={workers}"
 
+    @pytest.mark.parametrize("chunk", [1, 4, None],
+                             ids=["chunk1", "chunk4", "auto"])
+    def test_chunked_dispatch_bit_identical_to_serial(self, traces,
+                                                      serial_reference,
+                                                      chunk):
+        """Batched dispatch is a transport optimisation: any chunk
+        size (including auto-tuned) must be invisible in the stats."""
+        for label, config in CONFIGS:
+            result = run_config(label, config, traces, workers=2,
+                                use_cache=False, chunk=chunk)
+            for name in WORKLOADS:
+                assert fields(result.stats[name]) == \
+                    fields(serial_reference[label][name]), \
+                    f"{label}/{name} diverged at chunk={chunk}"
+
     def test_cache_hits_bit_identical(self, traces, serial_reference,
                                       tmp_path):
         cache = ResultCache(tmp_path)
@@ -124,6 +139,36 @@ class TestExecutor:
             assert set(result.stats) == set(WORKLOADS)
             assert set(result.timings) == set(WORKLOADS)
             assert all(t >= 0.0 for t in result.timings.values())
+
+    def test_affinity_chunking_hits_worker_trace_lru(self, traces):
+        """Same-workload cells across configs are sorted adjacent and
+        share a dispatch chunk, so at most one trace build per
+        (workload, worker) — every other cell is a trace-LRU hit."""
+        jobs = (jobs_for("A", CONFIGS[0][1], traces)
+                + jobs_for("B", CONFIGS[1][1], traces))
+        results = run_suite(jobs, workers=2, chunk=2)
+        hits = sum(result.trace_cache_hits()
+                   for result in results.values())
+        assert hits >= len(WORKLOADS), \
+            f"expected >= {len(WORKLOADS)} trace-LRU hits, got {hits}"
+
+    def test_worker_path_reports_queueing(self, traces):
+        label, config = CONFIGS[0]
+        result = run_config(label, config, traces, workers=2,
+                            use_cache=False)
+        assert set(result.queued) == set(WORKLOADS)
+        assert all(q >= 0.0 for q in result.queued.values())
+        assert result.queued_seconds() >= 0.0
+        # timings measure simulation only — dispatch-measured, so each
+        # cell's elapsed must stay below the whole suite's wall and
+        # never absorb its own queue wait
+        assert all(result.timings[name] >= 0.0 for name in WORKLOADS)
+
+    def test_serial_path_reports_zero_queueing(self, traces):
+        label, config = CONFIGS[0]
+        result = run_config(label, config, traces, workers=1,
+                            use_cache=False)
+        assert result.queued_seconds() == 0.0
 
     def test_cached_cells_report_zero_time(self, traces, tmp_path):
         cache = ResultCache(tmp_path)

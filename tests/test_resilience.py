@@ -288,8 +288,10 @@ class TestInterrupt:
         watcher = threading.Thread(target=interrupt_when_flushed,
                                    daemon=True)
         watcher.start()
+        # chunk=1: with batching, mcf.chase would queue behind a hung
+        # chunk-mate and never complete before the interrupt
         with pytest.raises(SuiteInterrupted) as excinfo:
-            run_suite(jobs, workers=2, cache=cache)
+            run_suite(jobs, workers=2, cache=cache, chunk=1)
         watcher.join(timeout=10)
         assert "I/mcf.chase" in excinfo.value.completed
         assert "I/gcc.mix" not in excinfo.value.completed
@@ -300,6 +302,93 @@ class TestInterrupt:
         monkeypatch.delenv("REPRO_FAULT")
         after = run_suite(_jobs("I2", ("mcf.chase",)), workers=2)["I2"]
         assert after.statuses["mcf.chase"] is CellStatus.OK
+
+
+class TestChunkedDispatch:
+    """Partial-chunk failure semantics: a fault in one chunk cell must
+    never poison its chunk-mates — finished mates keep their results,
+    unstarted mates are re-queued and complete bit-identically."""
+
+    CHUNK_WORKLOADS = ("gcc.mix", "mcf.chase", "perl.branchy")
+
+    @pytest.fixture
+    def chunk_reference(self):
+        result = run_suite(_jobs("ref3", self.CHUNK_WORKLOADS),
+                           workers=1)["ref3"]
+        return result.stats
+
+    def test_mid_chunk_crash_names_the_right_cell(self, monkeypatch,
+                                                  chunk_reference):
+        # affinity order sorts gcc.mix < mcf.chase < perl.branchy, so
+        # with chunk=3 the faulty cell is the *middle* chunk member:
+        # the finished mate ahead of it and the unstarted mate behind
+        # it must both survive, and the crash must name mcf.chase
+        monkeypatch.setenv("REPRO_FAULT", "crash:A/mcf.chase")
+        result = run_suite(_jobs("A", self.CHUNK_WORKLOADS), workers=2,
+                           retries=0, chunk=3)["A"]
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        failure = result.failures["mcf.chase"]
+        assert failure.kind == "crash"
+        assert "mcf.chase" in failure.message
+        assert result.statuses["gcc.mix"] is CellStatus.OK
+        assert result.statuses["perl.branchy"] is CellStatus.OK
+        assert result.stats["gcc.mix"] == chunk_reference["gcc.mix"]
+        assert result.stats["perl.branchy"] == \
+            chunk_reference["perl.branchy"]
+
+    def test_transient_mid_chunk_crash_heals(self, monkeypatch,
+                                             chunk_reference):
+        monkeypatch.setenv("REPRO_FAULT", "crash:A/mcf.chase:1")
+        result = run_suite(_jobs("A", self.CHUNK_WORKLOADS), workers=2,
+                           retries=1, chunk=3)["A"]
+        assert result.complete()
+        for name in self.CHUNK_WORKLOADS:
+            assert result.stats[name] == chunk_reference[name], name
+
+    def test_chunked_timeout_isolates_cell(self, monkeypatch,
+                                           chunk_reference):
+        monkeypatch.setenv("REPRO_FAULT", "hang:A/mcf.chase")
+        result = run_suite(_jobs("A", self.CHUNK_WORKLOADS), workers=2,
+                           timeout=3.0, chunk=3)["A"]
+        assert result.statuses["mcf.chase"] is CellStatus.TIMEOUT
+        assert result.statuses["gcc.mix"] is CellStatus.OK
+        assert result.statuses["perl.branchy"] is CellStatus.OK
+        assert result.stats["gcc.mix"] == chunk_reference["gcc.mix"]
+        assert result.stats["perl.branchy"] == \
+            chunk_reference["perl.branchy"]
+
+
+class TestPoolResize:
+    def test_smaller_request_shrinks_in_place(self):
+        from repro.harness.resilience import get_pool
+        pool = get_pool(4)
+        assert len(pool.handles) == 4
+        surplus = [h.proc for h in pool.handles[2:]]
+        again = get_pool(2)
+        assert again is pool                 # resized, not replaced
+        assert len(pool.handles) == 2
+        for proc in surplus:                 # retired workers exited
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+        # the shrunk pool still works
+        result = run_suite(_jobs("R", ("mcf.chase",)), workers=2)["R"]
+        assert result.statuses["mcf.chase"] is CellStatus.OK
+
+
+class TestWarmSweep:
+    def test_warm_cache_never_touches_the_pool(self, tmp_path,
+                                               monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_suite(_jobs("W"), workers=1, cache=cache)
+        import repro.harness.parallel as parallel_mod
+
+        def no_pool(workers):
+            raise AssertionError("warm sweep must not spawn workers")
+
+        monkeypatch.setattr(parallel_mod, "get_pool", no_pool)
+        result = run_suite(_jobs("W"), workers=2, cache=cache)["W"]
+        assert all(result.cached.values())
+        assert result.complete()
 
 
 class TestProfileDependency:

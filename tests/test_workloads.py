@@ -4,7 +4,8 @@ import pytest
 
 from repro.isa import Emulator, OpClass
 from repro.workloads import (build_program, build_suite, build_trace,
-                             kernel_names, kernels)
+                             clear_trace_cache, fetch_trace, kernel_names,
+                             kernels, trace_cache_cap, trace_cache_stats)
 
 
 class TestRegistry:
@@ -31,6 +32,42 @@ class TestRegistry:
         small = build_trace("gcc.mix", scale=0.5, use_cache=False)
         full = build_trace("gcc.mix", scale=1.0, use_cache=False)
         assert len(small) < len(full)
+
+
+class TestTraceLRU:
+    def test_fetch_reports_hit_flag_and_counts(self):
+        clear_trace_cache()
+        _, hit_first = fetch_trace("gcc.mix", 0.1)
+        _, hit_second = fetch_trace("gcc.mix", 0.1)
+        assert (hit_first, hit_second) == (False, True)
+        stats = trace_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        clear_trace_cache()
+        assert trace_cache_stats() == {"hits": 0, "misses": 0,
+                                       "entries": 0}
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        assert trace_cache_cap() == 2
+        clear_trace_cache()
+        fetch_trace("gcc.mix", 0.1)
+        fetch_trace("mcf.chase", 0.1)
+        fetch_trace("perl.branchy", 0.1)     # evicts gcc.mix (LRU)
+        assert trace_cache_stats()["entries"] == 2
+        _, hit = fetch_trace("gcc.mix", 0.1)
+        assert hit is False                  # was evicted, rebuilt
+        clear_trace_cache()
+
+    def test_recent_use_protects_from_eviction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        clear_trace_cache()
+        fetch_trace("gcc.mix", 0.1)
+        fetch_trace("mcf.chase", 0.1)
+        fetch_trace("gcc.mix", 0.1)          # refresh: now most recent
+        fetch_trace("perl.branchy", 0.1)     # evicts mcf.chase instead
+        _, hit = fetch_trace("gcc.mix", 0.1)
+        assert hit is True
+        clear_trace_cache()
 
 
 class TestKernelCorrectness:

@@ -16,11 +16,14 @@ bit-identical against the serial ones.  ``--gate RATIO`` turns the
 comparison into a pass/fail check for CI: exit 1 if parallel wall
 exceeds ``RATIO x`` serial wall (skipped, and recorded as skipped,
 on single-CPU hosts where a speedup is physically unattainable) and
-exit 2 if the stats diverge.  Results land in ``benchmarks/out/
+exit 2 if the stats diverge.  ``--lanes L`` measures the lane-batched
+engine the same way (same cells, workers=1, lockstep batches of L),
+with ``--lane-gate R`` as its CI check — identity always enforced,
+wall ratio skipped on 1-CPU hosts.  Results land in ``benchmarks/out/
 BENCH_speed.json`` — per-workload kilocycles/sec, geomean, suite
-totals, and the serial-vs-parallel comparison — for before/after
-comparisons: check out the baseline tree, run with ``--out
-baseline.json``, and diff the ``summary`` blocks.
+totals, and the serial-vs-parallel/lane comparisons — for
+before/after comparisons: check out the baseline tree, run with
+``--out baseline.json``, and diff the ``summary`` blocks.
 """
 
 from __future__ import annotations
@@ -115,6 +118,82 @@ def _parallel_pass(traces, scheduler, commit, jobs, chunk,
     }
 
 
+def _lane_pass(traces, scheduler, commit, lanes, serial_stats,
+               serial_wall):
+    """In-process lane-batched sweep over the same cells.
+
+    Measures the lane-stacked engine (``repro.pipeline.lanes``): up to
+    ``lanes`` compatible cells stepped in lockstep over one
+    struct-of-arrays stack, single process (workers=1) so the number
+    isolates the lane engine from worker parallelism.  Per-cell stats
+    are checked field-identical against the serial pass — the identity
+    contract matters more than the wall number and is always enforced.
+    """
+    config = base_config(scheduler=scheduler, commit=commit)
+    start = time.perf_counter()
+    result = run_config("bench-lanes", config, traces, workers=1,
+                        use_cache=False, lanes=lanes)
+    wall = time.perf_counter() - start
+    identical = all(result.stats.get(name) == serial_stats[name]
+                    for name in traces)
+    total_cycles = sum(stats.cycles for stats in result.stats.values())
+    speedup = serial_wall / wall if wall > 0 else 0.0
+    return {
+        "lanes": lanes,
+        "wall_seconds": round(wall, 4),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "speedup": round(speedup, 3),
+        "total_cycles": total_cycles,
+        "kcps": round(total_cycles / wall / 1e3, 1) if wall > 0 else 0.0,
+        "mean_active_lanes": round(result.mean_lane_occupancy(), 3),
+        "batches": len(result.lane_batches),
+        "trace_cache_hits": result.trace_cache_hits(),
+        "identical": identical,
+        "target_5x_met": speedup >= 5.0,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def _apply_lane_gate(report, gate):
+    """Enforce ``--lane-gate``; returns the process exit code.
+
+    Identity divergence is always fatal (exit 2).  The wall-ratio
+    check is skipped — and recorded as skipped — on single-CPU hosts:
+    the per-lane stage logic is interpreter-bound, so lane batching
+    improves throughput only where the batched cross-lane work
+    amortises over real cores.
+    """
+    lane = report["lane"]
+    if not lane["identical"]:
+        report["lane_gate"] = {"ratio": gate, "passed": False,
+                               "reason": "lane stats diverged from serial"}
+        print("GATE FAIL: lane-batched stats are not field-identical "
+              "to serial", file=sys.stderr)
+        return 2
+    if lane["cpus"] <= 1:
+        report["lane_gate"] = {
+            "ratio": gate, "skipped": True,
+            "reason": f"single-CPU host (cpus={lane['cpus']}); "
+                      f"wall ratio not enforceable"}
+        print(f"lane gate skipped: single-CPU host (lanes "
+              f"{lane['wall_seconds']:.2f}s vs serial "
+              f"{lane['serial_wall_seconds']:.2f}s recorded, not "
+              f"enforced)")
+        return 0
+    ratio = (lane["wall_seconds"] / lane["serial_wall_seconds"]
+             if lane["serial_wall_seconds"] > 0 else float("inf"))
+    passed = ratio <= gate
+    report["lane_gate"] = {"ratio": gate, "measured": round(ratio, 3),
+                           "passed": passed}
+    if not passed:
+        print(f"GATE FAIL: lane wall {lane['wall_seconds']:.2f}s is "
+              f"{ratio:.2f}x serial {lane['serial_wall_seconds']:.2f}s "
+              f"(limit {gate:g}x)", file=sys.stderr)
+        return 1
+    print(f"lane gate ok: lane/serial wall ratio {ratio:.2f} <= {gate:g}")
+    return 0
+
+
 def _apply_gate(report, gate):
     """Enforce ``--gate``; returns the process exit code.
 
@@ -177,6 +256,17 @@ def main(argv=None) -> int:
                         help="fail if parallel wall > R x serial wall "
                              "(requires --jobs; skipped on 1-CPU hosts); "
                              "stat divergence always fails")
+    parser.add_argument("--lanes", type=int, default=0, metavar="L",
+                        help="also measure the lane-batched engine: the "
+                             "same cells in lockstep batches of L over "
+                             "struct-of-arrays state (workers=1, so the "
+                             "number isolates the lane engine)")
+    parser.add_argument("--lane-gate", type=float, default=None,
+                        metavar="R",
+                        help="fail if lane wall > R x serial wall "
+                             "(requires --lanes; wall check skipped on "
+                             "1-CPU hosts); identity divergence always "
+                             "fails")
     parser.add_argument("--out", default=str(OUT_PATH),
                         help="output JSON path")
     args = parser.parse_args(argv)
@@ -195,7 +285,7 @@ def main(argv=None) -> int:
     geomean = math.exp(sum(math.log(row["kcps"])
                            for row in serial.values()) / len(serial))
     report = {
-        "schema": "bench-speed/2",
+        "schema": "bench-speed/3",
         "scale": scale,
         "reps": max(1, args.reps),
         "scheduler": args.scheduler,
@@ -214,10 +304,17 @@ def main(argv=None) -> int:
         report["parallel"] = _parallel_pass(
             traces, args.scheduler, args.commit, args.jobs, args.chunk,
             serial_stats, serial_wall)
+    if args.lanes > 1:
+        report["lane"] = _lane_pass(
+            traces, args.scheduler, args.commit, args.lanes,
+            serial_stats, serial_wall)
 
     exit_code = 0
     if args.gate is not None and "parallel" in report:
         exit_code = _apply_gate(report, args.gate)
+    if args.lane_gate is not None and "lane" in report:
+        exit_code = max(exit_code,
+                        _apply_lane_gate(report, args.lane_gate))
 
     out_path = pathlib.Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -241,6 +338,14 @@ def main(argv=None) -> int:
               f"({par['speedup']:.2f}x, {par['kcps']:.1f} kcps, "
               f"{par['trace_cache_hits']} trace-LRU hits, "
               f"stats {'identical' if par['identical'] else 'DIVERGED'})")
+    if "lane" in report:
+        lane = report["lane"]
+        print(f"  lanes x{lane['lanes']}: {lane['wall_seconds']:.3f}s "
+              f"wall vs {lane['serial_wall_seconds']:.3f}s serial "
+              f"({lane['speedup']:.2f}x, {lane['kcps']:.1f} kcps, mean "
+              f"{lane['mean_active_lanes']:.2f} active lanes over "
+              f"{lane['batches']} batches, stats "
+              f"{'identical' if lane['identical'] else 'DIVERGED'})")
     print(f"wrote {out_path}")
     return exit_code
 

@@ -19,9 +19,11 @@ Commands mirror the paper's evaluation artefacts:
 Experiment commands accept ``--jobs N`` (parallel simulation workers,
 default ``$REPRO_JOBS``), ``--no-cache`` (bypass the on-disk result
 cache under ``benchmarks/.cache/``), ``--timeout S`` (per-cell limit
-on the worker path, default ``$REPRO_CELL_TIMEOUT``) and ``--chunk K``
+on the worker path, default ``$REPRO_CELL_TIMEOUT``), ``--chunk K``
 (cells per worker dispatch batch, default ``$REPRO_CHUNK`` or
-auto-tuned).
+auto-tuned) and ``--lanes L`` (lane-batch width: up to L compatible
+cells simulated in lockstep per batch, default ``$REPRO_LANES`` or 1;
+``repro profile`` requires ``--lanes 1``).
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ import sys
 from typing import List, Optional
 
 from .circuit import (format_scalability, format_table2, overhead_report)
-from .harness import (default_workers, fig14, fig15, fig16,
+from .harness import (default_lanes, default_workers, fig14, fig15, fig16,
                       format_characterization, hbar_chart, stall_breakdown,
                       table1, table2_measured)
 from .isa import save_trace
@@ -59,6 +61,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="cells per worker dispatch batch (default "
                              "$REPRO_CHUNK, else auto-tuned from per-cell "
                              "time estimates; 1 disables batching)")
+    parser.add_argument("--lanes", type=int, default=None, metavar="L",
+                        help="lane-batch width: simulate up to L "
+                             "compatible cells in lockstep over shared "
+                             "struct-of-arrays state (default "
+                             "$REPRO_LANES or 1 = off; results are "
+                             "field-identical to serial)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--sort", default="tottime",
                          choices=("tottime", "cumulative", "ncalls"),
                          help="cProfile sort order")
+    profile.add_argument("--lanes", type=int, default=None, metavar="L",
+                         help="must be 1: the profiler instruments one "
+                              "core's stages and attaches per-cycle "
+                              "subscribers, which lane batching bypasses "
+                              "(default $REPRO_LANES or 1)")
 
     replay = sub.add_parser(
         "replay", help="re-run a crash-diagnostic bundle and report "
@@ -174,7 +187,8 @@ def _exec_opts(args) -> dict:
     library default which requires ``$REPRO_CACHE=1``.
     """
     return {"workers": args.jobs, "use_cache": not args.no_cache,
-            "timeout": args.timeout, "chunk": args.chunk}
+            "timeout": args.timeout, "chunk": args.chunk,
+            "lanes": args.lanes}
 
 
 def _cmd_bench(args) -> str:
@@ -186,14 +200,24 @@ def _cmd_bench(args) -> str:
                                   **_exec_opts(args))
     wall = time.perf_counter() - start
     workers = args.jobs if args.jobs is not None else default_workers()
+    lanes = args.lanes if args.lanes is not None else default_lanes()
     sim = result.sim_seconds()
     lines = [result.format(), "",
              f"executor: {result.cells()} cells, workers={workers}, "
+             f"lanes={lanes}, "
              f"cache {'off' if args.no_cache else 'on'} "
              f"({result.cache_hits()} hits)",
+             f"trace LRU: {result.trace_cache_hits()} hits, "
+             f"{result.trace_cache_misses()} misses",
              f"wall-clock {wall:.2f}s; per-cell simulation time "
              f"{sim:.2f}s" + (f" ({sim / wall:.2f}x overlap)"
                               if wall > 0 else "")]
+    occupancy = result.mean_lane_occupancy()
+    if occupancy:
+        batches = {bid for r in result.results.values()
+                   for bid in r.lane_batches}
+        lines.append(f"lane batches: {len(batches)}, mean "
+                     f"{occupancy:.2f} active lanes/iteration")
     return "\n".join(lines)
 
 
@@ -281,6 +305,16 @@ def _dispatch(args) -> int:
     elif command == "bench":
         print(_cmd_bench(args))
     elif command == "profile":
+        # fail fast: the profiler's per-stage timers and event
+        # subscribers see exactly one core — a lane batch would report
+        # meaningless interleaved numbers, so refuse instead
+        lanes = args.lanes if args.lanes is not None else default_lanes()
+        if lanes != 1:
+            print(f"error: profile requires --lanes 1 (got lanes={lanes}"
+                  f"{'' if args.lanes is not None else ' via $REPRO_LANES'}"
+                  f"); the profiler instruments a single core's stages",
+                  file=sys.stderr)
+            return 2
         from .profiling import profile_run
         report = profile_run(
             args.kernel, scale=args.scale, preset=args.preset,

@@ -4,11 +4,12 @@ from .age_matrix import AgeMatrix
 from .bitmatrix import BitMatrix
 from .commit_matrix import CommitDependencyMatrix, MergedCommitMatrix
 from .disambiguation import MemoryDisambiguationMatrix
+from .lanestack import LaneSlot, LaneStack
 from .lockdown import LockdownEntry, LockdownMatrix
 from .wakeup_matrix import WakeupMatrix
 
 __all__ = [
     "AgeMatrix", "BitMatrix", "CommitDependencyMatrix", "MergedCommitMatrix",
-    "MemoryDisambiguationMatrix", "LockdownEntry", "LockdownMatrix",
-    "WakeupMatrix",
+    "MemoryDisambiguationMatrix", "LaneSlot", "LaneStack",
+    "LockdownEntry", "LockdownMatrix", "WakeupMatrix",
 ]

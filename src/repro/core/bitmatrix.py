@@ -32,19 +32,37 @@ import numpy as np
 
 
 class BitMatrix:
-    """A rows × cols matrix of bits supporting PIM-style operations."""
+    """A rows × cols matrix of bits supporting PIM-style operations.
 
-    def __init__(self, rows: int, cols: Optional[int] = None):
+    ``storage`` (any object with ``bits``/``and_plane`` array
+    attributes of the right shape, e.g. :class:`~repro.core.lanestack.
+    BitPlanes`) makes the matrix operate on caller-provided backing —
+    the lane-batched engine passes 2-D views into a 3-D lane-stacked
+    array.  The ``bits`` state is re-zeroed on adoption (slot reuse);
+    the ``and_plane`` scratch carries no state and is left as-is.
+    """
+
+    def __init__(self, rows: int, cols: Optional[int] = None,
+                 storage=None):
         if cols is None:
             cols = rows
         if rows <= 0 or cols <= 0:
             raise ValueError("matrix dimensions must be positive")
         self.rows = rows
         self.cols = cols
-        self.bits = np.zeros((rows, cols), dtype=bool)
-        # scratch plane for the AND stage of the read primitives; one
-        # allocation here buys allocation-free reads for the whole run
-        self._and_plane = np.empty((rows, cols), dtype=bool)
+        if storage is None:
+            self.bits = np.zeros((rows, cols), dtype=bool)
+            # scratch plane for the AND stage of the read primitives;
+            # one allocation buys allocation-free reads for the run
+            self._and_plane = np.empty((rows, cols), dtype=bool)
+        else:
+            if storage.bits.shape != (rows, cols):
+                raise ValueError(
+                    f"storage shape {storage.bits.shape} != "
+                    f"({rows}, {cols})")
+            self.bits = storage.bits
+            self.bits[...] = False
+            self._and_plane = storage.and_plane
 
     # -- row / column writes (dispatch, resolve) -----------------------
 

@@ -62,6 +62,28 @@ class ExperimentResult:
     def cells(self) -> int:
         return sum(len(r.stats) for r in self.results.values())
 
+    def trace_cache_hits(self) -> int:
+        """Cells served by the in-process/in-worker trace LRU."""
+        return sum(r.trace_cache_hits() for r in self.results.values())
+
+    def trace_cache_misses(self) -> int:
+        """Cells whose trace had to be (re)generated."""
+        return sum(r.trace_cache_misses() for r in self.results.values())
+
+    def mean_lane_occupancy(self) -> float:
+        """Mean active lanes per lockstep iteration, whole figure.
+
+        A lane batch can span labels; batches are deduplicated by id
+        across the per-label results before averaging.  0.0 when the
+        figure ran entirely on the per-cell paths.
+        """
+        batches: Dict[int, tuple] = {}
+        for result in self.results.values():
+            batches.update(result.lane_batches)
+        steps = sum(s for s, _ in batches.values())
+        lane_steps = sum(ls for _, ls in batches.values())
+        return lane_steps / steps if steps else 0.0
+
 
 def _missing_notes(results: Dict[str, SuiteResult]) -> List[str]:
     """One annotation per failed/timed-out/missing cell."""
@@ -97,7 +119,8 @@ def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
           workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
           timeout: Optional[float] = None,
-          chunk: Optional[int] = None) -> ExperimentResult:
+          chunk: Optional[int] = None,
+          lanes: Optional[int] = None) -> ExperimentResult:
     """Figure 14: IPC improvements of priority scheduling.
 
     Baseline AGE; comparisons MULT, Orinoco, CRI w/ AGE, CRI w/ Orinoco
@@ -120,7 +143,8 @@ def fig14(scale: float = 1.0, names: Optional[List[str]] = None,
     jobs += jobs_for("CRI w/ Orinoco", base.with_policies(scheduler="cri"),
                      traces, profile_config)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout, chunk=chunk)
+                        progress=progress, timeout=timeout, chunk=chunk,
+                        lanes=lanes)
     return _collect(results, "AGE", "Figure 14",
                     "IPC improvement of priority scheduling over AGE")
 
@@ -144,7 +168,8 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
           workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
           timeout: Optional[float] = None,
-          chunk: Optional[int] = None) -> ExperimentResult:
+          chunk: Optional[int] = None,
+          lanes: Optional[int] = None) -> ExperimentResult:
     """Figure 15: IPC improvements of out-of-order commit over IOC
     (all with the AGE scheduler, as in the paper's baseline)."""
     traces = build_suite(scale, names)
@@ -154,7 +179,8 @@ def fig15(scale: float = 1.0, names: Optional[List[str]] = None,
     for label, commit in FIG15_CONFIGS.items():
         jobs += jobs_for(label, base.with_policies(commit=commit), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout, chunk=chunk)
+                        progress=progress, timeout=timeout, chunk=chunk,
+                        lanes=lanes)
     return _collect(results, "IOC", "Figure 15",
                     "IPC improvement of out-of-order commit over IOC")
 
@@ -163,7 +189,8 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
           progress: bool = False, workers: Optional[int] = None,
           use_cache: Optional[bool] = None,
           timeout: Optional[float] = None,
-          chunk: Optional[int] = None) -> ExperimentResult:
+          chunk: Optional[int] = None,
+          lanes: Optional[int] = None) -> ExperimentResult:
     """Figure 16: sensitivity to core size (Base / Pro / Ultra).
 
     For each size, speedups of priority scheduling (Orinoco issue),
@@ -185,7 +212,8 @@ def fig16(scale: float = 1.0, names: Optional[List[str]] = None,
             jobs += jobs_for(f"{preset}: {kind}",
                              base.with_policies(**policies), traces)
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout, chunk=chunk)
+                        progress=progress, timeout=timeout, chunk=chunk,
+                        lanes=lanes)
     experiment = ExperimentResult(
         "Figure 16", "normalized performance sensitivity",
         baseline_label="AGE+IOC", results=results)
@@ -213,7 +241,8 @@ def stall_breakdown(scale: float = 1.0,
                     workers: Optional[int] = None,
                     use_cache: Optional[bool] = None,
                     timeout: Optional[float] = None,
-                    chunk: Optional[int] = None
+                    chunk: Optional[int] = None,
+                    lanes: Optional[int] = None
                     ) -> Dict[str, Dict[str, float]]:
     """§2.2 / §6.2 statistics.
 
@@ -231,7 +260,8 @@ def stall_breakdown(scale: float = 1.0,
             + jobs_for("Orinoco", base.with_policies(commit="orinoco"),
                        traces))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout, chunk=chunk)
+                        progress=progress, timeout=timeout, chunk=chunk,
+                        lanes=lanes)
     out: Dict[str, Dict[str, float]] = {}
     for label in ("IOC", "Orinoco"):
         result = results[label]

@@ -55,6 +55,10 @@ class SuiteResult:
     statuses: Dict[str, CellStatus] = field(default_factory=dict)
     #: per-workload failure detail for non-ok cells
     failures: Dict[str, CellFailure] = field(default_factory=dict)
+    #: lane batches this suite's cells ran in: batch id →
+    #: (driver steps, lane steps); keyed by id so a batch holding many
+    #: cells — or spanning labels — counts once in occupancy math
+    lane_batches: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     def ipc(self, workload: str) -> float:
         try:
@@ -106,6 +110,22 @@ class SuiteResult:
         """Cells whose trace came from the trace LRU (not rebuilt)."""
         return sum(1 for hit in self.trace_hits.values() if hit)
 
+    def trace_cache_misses(self) -> int:
+        """Cells whose trace had to be (re)generated."""
+        return sum(1 for name, hit in self.trace_hits.items()
+                   if not hit and not self.cached.get(name, False))
+
+    def mean_lane_occupancy(self) -> float:
+        """Mean active lanes per lockstep iteration across batches.
+
+        0.0 when nothing lane-batched (the serial/per-cell paths).
+        Aggregated over driver iterations, so a long low-occupancy
+        batch is not drowned out by a short full one.
+        """
+        steps = sum(s for s, _ in self.lane_batches.values())
+        lane_steps = sum(ls for _, ls in self.lane_batches.values())
+        return lane_steps / steps if steps else 0.0
+
 
 def resolve_execution(workers: Optional[int] = None,
                       use_cache: Optional[bool] = None,
@@ -134,14 +154,15 @@ def run_config(label: str, config: CoreConfig,
                use_cache: Optional[bool] = None,
                cache: Optional[ResultCache] = None,
                timeout: Optional[float] = None,
-               chunk: Optional[int] = None) -> SuiteResult:
+               chunk: Optional[int] = None,
+               lanes: Optional[int] = None) -> SuiteResult:
     """Simulate every trace under ``config`` (via the executor)."""
     if not _registry_backed(traces):
         return _serial_run_config(label, config, traces, progress)
     workers, cache = resolve_execution(workers, use_cache, cache)
     results = run_suite(jobs_for(label, config, traces),
                         workers=workers, cache=cache, progress=progress,
-                        timeout=timeout, chunk=chunk)
+                        timeout=timeout, chunk=chunk, lanes=lanes)
     return results.get(label, SuiteResult(label, config))
 
 
@@ -171,7 +192,8 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
                           use_cache: Optional[bool] = None,
                           cache: Optional[ResultCache] = None,
                           timeout: Optional[float] = None,
-                          chunk: Optional[int] = None
+                          chunk: Optional[int] = None,
+                          lanes: Optional[int] = None
                           ) -> Dict[str, SuiteResult]:
     """CRI runs for several output configs sharing one profile.
 
@@ -188,7 +210,8 @@ def run_criticality_suite(specs: Sequence[Tuple[str, CoreConfig]],
     for label, config in specs:
         jobs.extend(jobs_for(label, config, traces, profile_config))
     results = run_suite(jobs, workers=workers, cache=cache,
-                        progress=progress, timeout=timeout, chunk=chunk)
+                        progress=progress, timeout=timeout, chunk=chunk,
+                        lanes=lanes)
     return {label: results.get(label, SuiteResult(label, config))
             for label, config in specs}
 
@@ -236,14 +259,15 @@ def run_config_with_criticality(label: str, config: CoreConfig,
                                 use_cache: Optional[bool] = None,
                                 cache: Optional[ResultCache] = None,
                                 timeout: Optional[float] = None,
-                                chunk: Optional[int] = None
+                                chunk: Optional[int] = None,
+                                lanes: Optional[int] = None
                                 ) -> SuiteResult:
     """One CRI configuration (see :func:`run_criticality_suite`)."""
     results = run_criticality_suite([(label, config)], traces,
                                     profile_config, progress,
                                     workers=workers, use_cache=use_cache,
                                     cache=cache, timeout=timeout,
-                                    chunk=chunk)
+                                    chunk=chunk, lanes=lanes)
     return results[label]
 
 

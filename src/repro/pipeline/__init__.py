@@ -6,6 +6,8 @@ from .core import (ENGINE_VERSION, DeadlockError, InflightOp, O3Core,
                    simulate)
 from .events import (EventBus, EventRecorder, EventTail, EventType,
                      StatsSubscriber)
+from .lanes import (LaneBatch, LaneCell, LaneDivergence, LaneOutcome,
+                    LaneReport, lane_key)
 from .pipeview import Timeline, TimelineEntry
 from .resources import FUPool, FUType, fu_type_for
 from .stages import PipelineState
@@ -16,6 +18,8 @@ __all__ = ["COMMITS", "CONFIG_PRESETS", "SCHEDULERS", "CoreConfig",
            "Timeline", "TimelineEntry",
            "EventBus", "EventRecorder", "EventTail", "EventType",
            "StatsSubscriber",
+           "LaneBatch", "LaneCell", "LaneDivergence", "LaneOutcome",
+           "LaneReport", "lane_key",
            "PipelineState",
            "ENGINE_VERSION",
            "DeadlockError", "InflightOp", "O3Core", "simulate", "FUPool",

@@ -47,8 +47,9 @@ __all__ = ["ENGINE_VERSION", "DeadlockError", "InflightOp", "O3Core",
 #: different arbitration, changed latencies) so stale cached SimStats
 #: from an older engine can never satisfy a lookup.  Pure-performance
 #: work that is proven bit-exact (e.g. the quiescent-cycle
-#: fast-forward) still warrants a bump out of caution.
-ENGINE_VERSION = 2
+#: fast-forward, the lane-stacked matrix storage) still warrants a
+#: bump out of caution.
+ENGINE_VERSION = 3
 
 _CYCLE = EventType.CYCLE
 _RUN_END = EventType.RUN_END
@@ -71,8 +72,11 @@ class O3Core:
     """
 
     def __init__(self, trace: Trace, config: CoreConfig,
-                 bus: Optional[EventBus] = None):
-        state = PipelineState(trace, config, bus)
+                 bus: Optional[EventBus] = None, slot=None):
+        # ``slot`` (repro.core.lanestack.LaneSlot) backs the matrix
+        # state with views into a lane-stacked 3-D arena; semantics
+        # are identical to owned storage (lane engine only)
+        state = PipelineState(trace, config, bus, slot=slot)
         # bypass __setattr__-visible delegation: plain instance attrs
         self.state = state
         self.bus = state.bus

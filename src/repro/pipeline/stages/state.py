@@ -91,11 +91,17 @@ class PipelineState:
     """Everything the stages share, constructed from a trace + config."""
 
     def __init__(self, trace: Trace, config: CoreConfig,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None, slot=None):
         # deferred: repro.commit imports pipeline.events at module
         # level, so importing it here (not at state.py import time)
         # keeps the package import graph acyclic
         from ...commit import make_commit_policy
+        if slot is not None and (slot.iq_size != config.iq_size
+                                 or slot.rob_size != config.rob_size):
+            raise ValueError(
+                f"lane slot shape (iq={slot.iq_size}, "
+                f"rob={slot.rob_size}) does not match config "
+                f"(iq={config.iq_size}, rob={config.rob_size})")
         self.trace = trace
         self.config = config
         self.bus = bus if bus is not None else EventBus()
@@ -111,13 +117,21 @@ class PipelineState:
         self.commit_policy = make_commit_policy(config.commit)
         self.select_policy = make_select_policy(config.scheduler)
 
-        # IQ: non-collapsible free list + age matrix + wakeup matrix
+        # IQ: non-collapsible free list + age matrix + wakeup matrix.
+        # With a lane ``slot`` (repro.core.lanestack.LaneSlot) the
+        # matrices operate on views into 3-D lane-stacked arrays — a
+        # struct-of-arrays layout over batch-mates; without one they
+        # own their arrays (the scalar reference path, unchanged).
         if config.iq_org == "circ":
             self.iq_queue = CircularQueue(config.iq_size)
         else:
             self.iq_queue = RandomQueue(config.iq_size)
-        self.iq_age = AgeMatrix(config.iq_size)
-        self.wakeup = WakeupMatrix(config.iq_size)
+        self.iq_age = AgeMatrix(
+            config.iq_size,
+            storage=None if slot is None else slot.iq_age)
+        self.wakeup = WakeupMatrix(
+            config.iq_size,
+            storage=None if slot is None else slot.wakeup)
         self.iq_ops: Dict[int, InflightOp] = {}
 
         # ROB: merged age/SPEC matrix over a non-collapsible (or, for
@@ -126,11 +140,17 @@ class PipelineState:
             self.rob_queue = RandomQueue(config.rob_size)
         else:
             self.rob_queue = CircularQueue(config.rob_size)
-        self.merged = MergedCommitMatrix(config.rob_size)
+        self.merged = MergedCommitMatrix(
+            config.rob_size,
+            storage=None if slot is None else slot.merged)
         # ROB-sized bool scratch shared by the per-cycle eligibility
         # gathers (commit policies, stall accounting) — never held
         # across a cycle
-        self.rob_scratch = np.zeros(config.rob_size, dtype=bool)
+        if slot is None:
+            self.rob_scratch = np.zeros(config.rob_size, dtype=bool)
+        else:
+            self.rob_scratch = slot.rob_scratch
+            self.rob_scratch[...] = False
 
         self.lsq = LSQUnit(config.lq_size, config.sq_size,
                            config.store_buffer_size, tso=config.tso,

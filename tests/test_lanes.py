@@ -1,0 +1,387 @@
+"""Lane-batched engine: stack storage, lockstep driver, harness wiring.
+
+The contract under test: any lane width is a storage-layout/throughput
+optimisation that is *field-identical* per cell to the serial engine —
+including mid-batch retirement and refill, a deadlocking cell isolated
+from its batch-mates, and the worker-pool composition.  The scalar
+path (``slot=None`` everywhere) must be byte-for-byte untouched.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.harness.parallel as parallel
+from repro.core import LaneStack, check
+from repro.harness import default_lanes, run_config, \
+    run_config_with_criticality
+from repro.isa import ProgramBuilder, trace_program
+from repro.pipeline import (DeadlockError, LaneBatch, LaneCell,
+                            LaneDivergence, O3Core, base_config)
+from repro.pipeline.lanes import crosscheck
+from repro.workloads import build_suite, build_trace
+
+SCALE = 0.1
+
+
+def fields(stats):
+    return dataclasses.asdict(stats)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("gcc.mix", SCALE)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return build_suite(SCALE, ["gcc.mix", "x264.divint", "mcf.chase"])
+
+
+# -- the stack -------------------------------------------------------------
+
+class TestLaneStack:
+    def test_slot_views_alias_the_stack(self):
+        stack = LaneStack(2, 4, 8)
+        slot = stack.slot(1)
+        slot.iq_age.bit.bits[2, 3] = True
+        slot.merged.blockers[5] = 7
+        slot.wakeup.pending[0] = 3
+        assert stack.iq_age_bits[1, 2, 3]
+        assert stack.blockers[1, 5] == 7
+        assert stack.wakeup_pending[1, 0] == 3
+
+    def test_no_cross_lane_aliasing(self):
+        stack = LaneStack(3, 4, 8)
+        slot = stack.slot(0)
+        slot.iq_age.bit.bits[...] = True
+        slot.wakeup.valid[...] = True
+        slot.merged.spec[...] = True
+        slot.rob_scratch[...] = True
+        for lane in (1, 2):
+            other = stack.slot(lane)
+            assert not other.iq_age.bit.bits.any()
+            assert not other.wakeup.valid.any()
+            assert not other.merged.spec.any()
+            assert not other.rob_scratch.any()
+
+    def test_lane_out_of_range(self):
+        stack = LaneStack(2, 4, 8)
+        with pytest.raises(IndexError):
+            stack.slot(2)
+        with pytest.raises(IndexError):
+            stack.slot(-1)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            LaneStack(0, 4, 8)
+        with pytest.raises(ValueError):
+            LaneStack(2, 0, 8)
+
+    def test_occupancy_reductions(self):
+        stack = LaneStack(2, 4, 8)
+        stack.iq_age_valid[0, :2] = True
+        stack.rob_age_valid[1, :5] = True
+        assert list(stack.iq_occupancy()) == [2, 0]
+        assert list(stack.rob_occupancy()) == [0, 5]
+
+    def test_verify_catches_corrupted_counter(self):
+        stack = LaneStack(2, 4, 8)
+        stack.verify([0, 1])                      # clean stack passes
+        stack.wakeup_valid[1, 2] = True
+        stack.wakeup_pending[1, 2] = 9            # bits say 0
+        stack.verify([0])                         # lane 0 still clean
+        with pytest.raises(check.CheckError, match="lane 1"):
+            stack.verify([0, 1])
+
+    def test_verify_catches_corrupted_blockers(self):
+        stack = LaneStack(1, 4, 8)
+        stack.rob_age_valid[0, 3] = True
+        stack.blockers[0, 3] = 2                  # no SPEC bits set
+        with pytest.raises(check.CheckError, match="blockers"):
+            stack.verify([0])
+
+
+# -- slot-backed cores -----------------------------------------------------
+
+class TestSlotBackedCore:
+    def test_identical_to_owned_storage(self, trace):
+        config = base_config(scheduler="orinoco", commit="orinoco")
+        want = fields(O3Core(trace, config).run())
+        stack = LaneStack(2, config.iq_size, config.rob_size)
+        got = fields(O3Core(trace, config, slot=stack.slot(1)).run())
+        assert got == want
+
+    def test_slot_reuse_resets_state(self, trace):
+        """A retired lane's successor must see pristine planes."""
+        config = base_config()
+        stack = LaneStack(1, config.iq_size, config.rob_size)
+        O3Core(trace, config, slot=stack.slot(0)).run()
+        other = build_trace("x264.divint", SCALE)
+        want = fields(O3Core(other, config).run())
+        got = fields(O3Core(other, config, slot=stack.slot(0)).run())
+        assert got == want
+
+    def test_shape_mismatch_rejected(self, trace):
+        config = base_config()
+        stack = LaneStack(1, config.iq_size + 1, config.rob_size)
+        with pytest.raises(ValueError, match="does not match config"):
+            O3Core(trace, config, slot=stack.slot(0))
+
+
+# -- the lockstep driver ---------------------------------------------------
+
+class TestLaneBatch:
+    def test_identity_with_refill(self, traces):
+        """3 cells through 2 lanes: the third refills a retired slot;
+        every cell is field-identical to its own serial run."""
+        config = base_config(scheduler="orinoco", commit="orinoco")
+        want = {name: fields(O3Core(t, config).run())
+                for name, t in traces.items()}
+        batch = LaneBatch(2, config.iq_size, config.rob_size)
+        cells = [LaneCell(name, t, config) for name, t in traces.items()]
+        report = batch.run(cells)
+        assert len(report.outcomes) == 3
+        for outcome in report.outcomes:
+            assert outcome.error is None and not outcome.timed_out
+            assert fields(outcome.stats) == want[outcome.index]
+        assert report.steps > 0
+        assert 1.0 <= report.mean_active() <= 2.0
+
+    def test_deadlock_in_one_lane_is_isolated(self, traces):
+        """A cell that exhausts its budget retires with the error;
+        batch-mates finish with untouched, serial-identical stats."""
+        config = base_config()
+        names = list(traces)
+        cells = [LaneCell(name, traces[name], config) for name in names]
+        cells[1].max_cycles = 1                   # guaranteed budget blow
+        batch = LaneBatch(2, config.iq_size, config.rob_size)
+        report = batch.run(cells)
+        by_index = {o.index: o for o in report.outcomes}
+        dead = by_index[names[1]]
+        assert isinstance(dead.error, DeadlockError)
+        assert "budget" in str(dead.error)
+        assert "DeadlockError" in dead.error_tb
+        for name in (names[0], names[2]):
+            outcome = by_index[name]
+            assert outcome.stats is not None
+            assert fields(outcome.stats) == \
+                fields(O3Core(traces[name], config).run())
+
+    def test_cooperative_timeout(self, trace):
+        config = base_config()
+        batch = LaneBatch(2, config.iq_size, config.rob_size)
+        report = batch.run([LaneCell("a", trace, config)], timeout=0.0)
+        (outcome,) = report.outcomes
+        assert outcome.timed_out and outcome.stats is None
+
+    def test_incompatible_cell_rejected(self, trace):
+        config = base_config()
+        batch = LaneBatch(2, config.iq_size + 1, config.rob_size)
+        with pytest.raises(ValueError, match="not compatible"):
+            batch.run([LaneCell("a", trace, config)])
+
+    def test_on_cell_fires_per_retirement(self, traces):
+        config = base_config()
+        seen = []
+        batch = LaneBatch(2, config.iq_size, config.rob_size)
+        batch.run([LaneCell(n, t, config) for n, t in traces.items()],
+                  on_cell=lambda o: seen.append(o.index))
+        assert sorted(seen) == sorted(traces)
+
+    def test_crosscheck_accepts_and_rejects(self, trace):
+        config = base_config()
+        cell = LaneCell("a", trace, config)
+        stats = O3Core(trace, config).run()
+        crosscheck(cell, stats)                   # identical: passes
+        stats.committed += 1
+        with pytest.raises(LaneDivergence, match="committed"):
+            crosscheck(cell, stats)
+
+    def test_batched_verify_runs_under_check(self, trace, monkeypatch):
+        """REPRO_CHECK=1 wires the vectorised stack verification into
+        the lockstep loop (every _VERIFY_EVERY iterations)."""
+        from repro.pipeline import lanes as lanes_mod
+        check.set_enabled(True)
+        try:
+            config = base_config()
+            batch = LaneBatch(2, config.iq_size, config.rob_size)
+            calls = []
+            original = batch.stack.verify
+            monkeypatch.setattr(
+                batch.stack, "verify",
+                lambda active: calls.append(1) or original(active))
+            monkeypatch.setattr(lanes_mod, "_VERIFY_EVERY", 8)
+            batch.run([LaneCell("a", trace, config)])
+            assert calls
+        finally:
+            check.reset()
+
+
+# -- property test: random programs x random lane groupings ----------------
+
+@st.composite
+def tiny_programs(draw):
+    """Random short loops, small enough for many lane permutations."""
+    b = ProgramBuilder("lane-prop")
+    b.li("x1", 0)
+    b.li("x2", draw(st.integers(min_value=1, max_value=3)))
+    b.li("x3", 0x1000)
+    b.label("loop")
+    for i in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["alu", "mul", "load", "store"]))
+        dst = f"x{10 + (i % 6)}"
+        src = f"x{10 + ((i + 2) % 6)}"
+        if kind == "alu":
+            b.add(dst, src, "x1")
+        elif kind == "mul":
+            b.mul(dst, src, "x2")
+        elif kind == "load":
+            b.ld(dst, "x3", draw(st.integers(0, 3)) * 8)
+        else:
+            b.sd(src, "x3", draw(st.integers(0, 3)) * 8)
+    b.addi("x1", "x1", 1)
+    b.blt("x1", "x2", "loop")
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(data=st.data())
+def test_property_lane_batches_match_serial(data):
+    """Any grouping of random tiny cells into any lane width — with
+    optional mid-batch retirement (more cells than lanes) and an
+    optional deadlocked lane — is field-identical to serial per cell."""
+    n_cells = data.draw(st.integers(min_value=2, max_value=5),
+                        label="n_cells")
+    lanes = data.draw(st.integers(min_value=2, max_value=4), label="lanes")
+    programs = [data.draw(tiny_programs(), label=f"program{i}")
+                for i in range(n_cells)]
+    commits = [data.draw(st.sampled_from(["ioc", "orinoco"]),
+                         label=f"commit{i}") for i in range(n_cells)]
+    dead = data.draw(
+        st.one_of(st.none(), st.integers(0, n_cells - 1)), label="dead")
+    config = base_config()
+    cells, want = [], {}
+    for i, program in enumerate(programs):
+        trace = trace_program(program)
+        cell_config = base_config(commit=commits[i])
+        cell = LaneCell(i, trace, cell_config, max_cycles=200_000)
+        if dead == i:
+            cell.max_cycles = 1
+        else:
+            want[i] = fields(O3Core(trace, cell_config).run(200_000))
+        cells.append(cell)
+    batch = LaneBatch(lanes, config.iq_size, config.rob_size)
+    report = batch.run(cells)
+    assert len(report.outcomes) == n_cells
+    for outcome in report.outcomes:
+        if outcome.index == dead:
+            assert isinstance(outcome.error, DeadlockError)
+        else:
+            assert fields(outcome.stats) == want[outcome.index], \
+                f"cell {outcome.index} diverged (lanes={lanes})"
+
+
+# -- harness wiring --------------------------------------------------------
+
+class TestHarnessWiring:
+    def test_default_lanes_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        assert default_lanes() == 1
+        monkeypatch.setenv("REPRO_LANES", "6")
+        assert default_lanes() == 6
+        monkeypatch.setenv("REPRO_LANES", "0")
+        assert default_lanes() == 1
+        monkeypatch.setenv("REPRO_LANES", "junk")
+        assert default_lanes() == 1
+
+    def test_repro_check_samples_a_crosscheck(self, traces, monkeypatch):
+        """REPRO_CHECK=1 pays for one serial re-run per lane batch and
+        diffs it against the lane result."""
+        calls = []
+        original = parallel.crosscheck
+        monkeypatch.setattr(parallel, "crosscheck",
+                            lambda cell, stats:
+                            calls.append(cell.index) or
+                            original(cell, stats))
+        check.set_enabled(True)
+        try:
+            result = run_config("chk", base_config(), traces,
+                                workers=1, use_cache=False, lanes=2)
+        finally:
+            check.reset()
+        assert calls, "no sampled cross-check ran under REPRO_CHECK=1"
+        assert result.lane_batches
+
+    def test_lane_failures_are_annotated_holes(self, traces, monkeypatch):
+        """In-process lane mode keeps the worker-path failure contract:
+        a deadlocked cell is a typed hole, batch-mates complete."""
+        from repro.harness.resilience import CellStatus
+        # force one cell to blow its budget by shrinking max_cycles on
+        # the LaneCell the harness builds for it
+        original_cell = parallel.LaneCell
+
+        def tiny_first(index, trace, config, *args, **kwargs):
+            cell = original_cell(index, trace, config, *args, **kwargs)
+            if getattr(trace, "name", "") == "mcf.chase":
+                cell.max_cycles = 1
+            return cell
+
+        monkeypatch.setattr(parallel, "LaneCell", tiny_first)
+        result = run_config("iso", base_config(), traces,
+                            workers=1, use_cache=False, lanes=2)
+        assert result.statuses["mcf.chase"] is CellStatus.FAILED
+        assert "DeadlockError" in result.failures["mcf.chase"].message
+        for name in ("gcc.mix", "x264.divint"):
+            assert result.statuses[name] is CellStatus.OK
+            assert fields(result.stats[name]) == \
+                fields(O3Core(traces[name], base_config()).run())
+
+    def test_criticality_cells_never_lane_batch(self, traces):
+        result = run_config_with_criticality(
+            "cri", base_config(scheduler="cri"), traces, base_config(),
+            workers=1, use_cache=False, lanes=4)
+        assert result.complete()
+        assert not result.lane_batches
+
+    def test_fault_runs_never_lane_batch(self, traces, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:no-such-cell/*")
+        result = run_config("flt", base_config(), traces,
+                            workers=1, use_cache=False, lanes=4)
+        assert result.complete()
+        assert not result.lane_batches
+
+    def test_single_cell_group_skips_lane_driver_on_workers(self):
+        """A group of one gains nothing from lockstep; the worker path
+        routes it through the plain per-cell task."""
+        groups = parallel._lane_groups(
+            [parallel.Job("a", base_config(), "gcc.mix", SCALE)], [0])
+        assert groups == [[0]]
+
+
+# -- CLI surface -----------------------------------------------------------
+
+class TestProfileRejection:
+    def test_profile_rejects_lanes_flag(self, capsys):
+        from repro.cli import main
+        rc = main(["profile", "gcc.mix", "--lanes", "2"])
+        assert rc == 2
+        assert "requires --lanes 1" in capsys.readouterr().err
+
+    def test_profile_rejects_lanes_env(self, capsys, monkeypatch):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_LANES", "4")
+        rc = main(["profile", "gcc.mix"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "requires --lanes 1" in err and "REPRO_LANES" in err
+
+    def test_profile_lanes_one_still_runs(self):
+        from repro.cli import main
+        assert main(["profile", "gcc.mix", "--scale", "0.02",
+                     "--lanes", "1"]) == 0

@@ -92,6 +92,37 @@ class TestDeterminism:
                     fields(serial_reference[label][name]), \
                     f"{label}/{name} diverged at chunk={chunk}"
 
+    @pytest.mark.parametrize("lanes", [1, 4, 8])
+    def test_lane_batched_identical_to_serial(self, traces,
+                                              serial_reference, lanes):
+        """The lane-stacked engine is a storage-layout optimisation:
+        any lane width (1 = the untouched reference path) must be
+        invisible in the stats, against the same golden-pinned serial
+        reference as the workers/chunk/cache paths."""
+        for label, config in CONFIGS:
+            result = run_config(label, config, traces, workers=1,
+                                use_cache=False, lanes=lanes)
+            for name in WORKLOADS:
+                assert fields(result.stats[name]) == \
+                    fields(serial_reference[label][name]), \
+                    f"{label}/{name} diverged at lanes={lanes}"
+            if lanes > 1:
+                assert result.lane_batches, \
+                    "lane path not exercised despite lanes > 1"
+                assert result.mean_lane_occupancy() > 1.0
+
+    def test_lanes_compose_with_workers(self, traces, serial_reference):
+        """Lane groups dispatched through the worker pool (one batch
+        per task) still return field-identical per-cell stats."""
+        for label, config in CONFIGS:
+            result = run_config(label, config, traces, workers=2,
+                                use_cache=False, lanes=2)
+            for name in WORKLOADS:
+                assert fields(result.stats[name]) == \
+                    fields(serial_reference[label][name]), \
+                    f"{label}/{name} diverged at workers=2, lanes=2"
+            assert result.lane_batches
+
     def test_cache_hits_bit_identical(self, traces, serial_reference,
                                       tmp_path):
         cache = ResultCache(tmp_path)

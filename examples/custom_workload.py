@@ -1,15 +1,30 @@
-"""Bring your own workload: text assembly in, evaluation out.
+"""Bring your own workload: three ways into the target registry.
 
-Shows the full user path: assemble a program, check it architecturally
-with the functional emulator, then sweep it across core sizes and
-policies.
+The harness simulates *workload targets* (``repro.workloads.targets``)
+— named objects that build a deterministic trace, fingerprint
+themselves for the result cache, and know how to rebuild in a worker
+process.  This example walks the full user path:
+
+1. assemble a program and check it architecturally;
+2. register it as a custom ``WorkloadTarget`` so every harness layer
+   (sweeps, caching, ``--jobs`` workers) can use it by name;
+3. record the trace to disk and re-import it as a trace-file target —
+   the same mechanism as ``repro trace record`` / ``--trace PATH``;
+4. compose it into a scenario (SMT-style interleave with a suite
+   kernel) and sweep everything across core sizes and policies.
 
 Run:  python examples/custom_workload.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.harness import format_table
-from repro.isa import Emulator, assemble
+from repro.isa import Emulator, assemble, save_trace, trace_program
 from repro.pipeline import make_config, simulate
+from repro.workloads import (InterleaveTarget, WorkloadTarget,
+                             add_trace_target, build_trace, get_target,
+                             register_target, unregister_target)
 
 SOURCE = """
 .name histogram
@@ -36,12 +51,39 @@ loop:
 """
 
 
-def main():
-    program = assemble(SOURCE)
-    print(f"assembled {len(program.code)} instructions")
+class HistogramTarget(WorkloadTarget):
+    """A custom target: assembly source in, deterministic trace out.
 
-    # 1. architectural check
-    emulator = Emulator(program)
+    ``fingerprint`` must identify the trace *content* — here the
+    source text and the iteration count — so the result cache can
+    never serve a stale entry after the program changes.
+    """
+
+    kind = "example"
+
+    def __init__(self, name: str, count: int = 256):
+        super().__init__(name)
+        self.count = count
+
+    def _program(self):
+        source = SOURCE.replace("li   x2, 256", f"li   x2, {self.count}")
+        return assemble(source)
+
+    def build_trace(self, scale: float = 1.0):
+        return trace_program(self._program())
+
+    def fingerprint(self, scale: float = 1.0):
+        return {"kind": self.kind, "source_lines": len(SOURCE.split()),
+                "count": self.count}
+
+    def provenance(self) -> str:
+        return "example: inline assembly histogram"
+
+
+def main():
+    # 1. architectural check with the functional emulator
+    target = HistogramTarget("example.hist")
+    emulator = Emulator(target._program())
     trace = emulator.run()
     total = sum(int(emulator.memory.get(0x8000 + 8 * b, 0))
                 for b in range(16))
@@ -49,19 +91,53 @@ def main():
           f"({len(trace)} dynamic instructions)")
     assert total == 256
 
-    # 2. sweep core sizes x commit policies
-    rows = []
-    for preset in ("base", "pro", "ultra"):
-        row = [preset]
-        for commit in ("ioc", "orinoco"):
-            stats = simulate(trace, make_config(preset, commit=commit))
-            row.append(f"{stats.ipc:.3f}")
-        rows.append(row)
-    print(format_table(["core", "IPC (IOC)", "IPC (Orinoco)"], rows,
-                       title="\nYour workload across Table 1 cores"))
-    print("\nNote: the bucket RMW chain forwards store-to-load in the "
-          "LSQ; try mem_dep_policy='conservative' to see the cost of "
-          "not speculating.")
+    # 2. register it — now every harness layer knows "example.hist"
+    register_target(target)
+    print(f"registered {target.name!r} "
+          f"(fingerprint {target.fingerprint()})")
+
+    # 3. record to disk and re-import: the trace-file path.  The
+    #    import verifies a sha256 checksum at registration and before
+    #    every build, and its fingerprint is the checksum — so cache
+    #    entries follow the *content*, not the path.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "hist.jsonl"
+        save_trace(build_trace("example.hist"), path,
+                   meta={"source": "example.hist"})
+        imported = add_trace_target(path, name="example.hist.rec")
+        print(f"re-imported as {imported.name!r} "
+              f"(sha256 {imported.sha256[:12]}…)")
+
+        # 4. compose: interleave the histogram with a suite kernel,
+        #    as the stock smt.* scenario families do
+        register_target(InterleaveTarget(
+            "example.smt", ("example.hist", "gcc.mix"), seed=7))
+
+        names = ("example.hist", "example.hist.rec", "example.smt")
+        rows = []
+        for preset in ("base", "pro", "ultra"):
+            for name in names:
+                trace = build_trace(name, 0.25, use_cache=False)
+                row = [preset, name]
+                for commit in ("ioc", "orinoco"):
+                    stats = simulate(trace, make_config(preset,
+                                                        commit=commit))
+                    row.append(f"{stats.ipc:.3f}")
+                rows.append(row)
+        print(format_table(
+            ["core", "target", "IPC (IOC)", "IPC (Orinoco)"], rows,
+            title="\nYour targets across Table 1 cores"))
+
+        for name in ("example.smt", "example.hist.rec", "example.hist"):
+            unregister_target(name)
+
+    print("\nNotes: the recorded target simulates identically to its "
+          "source (same instruction stream, checksum-pinned); the "
+          "bucket RMW chain forwards store-to-load in the LSQ — try "
+          "mem_dep_policy='conservative' to see the cost of not "
+          "speculating.  `python -m repro kernels` lists the stock "
+          "registry; `repro trace record/convert/validate` is the CLI "
+          "for step 3.")
 
 
 if __name__ == "__main__":

@@ -2,8 +2,14 @@
 
 Commands mirror the paper's evaluation artefacts:
 
-* ``kernels``       — list the workload suite
-* ``run``           — simulate one kernel under one configuration
+* ``kernels``       — list every registered workload target with its
+  kind (synthetic / scenario / trace-file) and provenance
+* ``run``           — simulate one target (or a trace-file path) under
+  one configuration
+* ``trace``         — trace-file tools: ``record`` a target's trace to
+  disk, ``convert`` v1 files to the current format, ``validate`` a
+  file before importing it; experiment commands accept ``--trace
+  PATH`` to pull recorded traces into the sweeps as targets
 * ``fig14``/``fig15``/``fig16`` — regenerate the figures
 * ``table1``/``table2``         — regenerate the tables
 * ``stalls``        — the §2.2/§6.2 stall statistics
@@ -36,10 +42,11 @@ from .circuit import (format_scalability, format_table2, overhead_report)
 from .harness import (default_lanes, default_workers, fig14, fig15, fig16,
                       format_characterization, hbar_chart, stall_breakdown,
                       table1, table2_measured)
-from .isa import save_trace
+from .isa import convert_trace_file, save_trace, validate_trace_file
 from .pipeline import (COMMITS, SCHEDULERS, EventRecorder, O3Core,
                        Timeline, make_config, simulate)
-from .workloads import build_trace, kernel_names
+from .workloads import (add_trace_target, build_trace, get_target,
+                        has_target, iter_targets)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +74,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "struct-of-arrays state (default "
                              "$REPRO_LANES or 1 = off; results are "
                              "field-identical to serial)")
+    _add_trace_import(parser)
+
+
+def _add_trace_import(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="append", default=None,
+                        metavar="PATH", dest="import_traces",
+                        help="import a recorded trace file as an extra "
+                             "workload target before running (repeatable; "
+                             "imported targets join default sweeps)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,7 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Orinoco (ISCA 2023) reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("kernels", help="list the workload suite")
+    kernels_parser = sub.add_parser(
+        "kernels", help="list every registered workload target "
+                        "(name, kind, provenance)")
+    _add_trace_import(kernels_parser)
 
     run = sub.add_parser("run", help="simulate one kernel")
     run.add_argument("kernel", help="suite kernel name (see `kernels`)")
@@ -95,10 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="profile the workload suite"))
 
     save = sub.add_parser("save-trace",
-                          help="emulate a kernel and save its trace")
+                          help="emulate a kernel and save its trace "
+                               "(alias of `trace record`)")
     save.add_argument("kernel")
     save.add_argument("path")
     save.add_argument("--scale", type=float, default=1.0)
+
+    trace = sub.add_parser(
+        "trace", help="trace-file tools: record a target's trace, "
+                      "convert old files, validate before import")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser(
+        "record", help="build a registered target's trace and write it "
+                       "in the v2 format with provenance metadata")
+    record.add_argument("target", help="workload target name "
+                                       "(see `kernels`)")
+    record.add_argument("path", help="output trace file (JSONL)")
+    record.add_argument("--scale", type=float, default=1.0)
+    convert = trace_sub.add_parser(
+        "convert", help="rewrite a v1/v2 trace file in the current "
+                        "format (validating every record)")
+    convert.add_argument("src")
+    convert.add_argument("dst")
+    validate = trace_sub.add_parser(
+        "validate", help="fully parse a trace file and print its "
+                         "summary (version, name, count, sha256)")
+    validate.add_argument("path")
 
     for name, help_text in (("fig14", "priority scheduling (Figure 14)"),
                             ("fig15", "out-of-order commit (Figure 15)"),
@@ -155,8 +196,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _register_cli_traces(args) -> None:
+    """Import every ``--trace PATH`` as a trace-file workload target."""
+    import pathlib
+    for path in getattr(args, "import_traces", None) or ():
+        target = add_trace_target(path)
+        print(f"imported {pathlib.Path(path).name} as target "
+              f"{target.name!r}", file=sys.stderr)
+
+
+def _cmd_kernels(args) -> str:
+    """Every registered target: name, kind, and where it came from."""
+    lines = []
+    for target in iter_targets():
+        lines.append(f"{target.name:<18} {target.kind:<11} "
+                     f"{target.provenance()}")
+    return "\n".join(lines)
+
+
+def _cmd_trace(args) -> str:
+    if args.trace_command == "record":
+        name = args.target
+        trace = build_trace(name, args.scale)
+        target = get_target(name)
+        meta = {"source": name, "scale": args.scale,
+                "provenance": target.provenance(),
+                "fingerprint": target.fingerprint(args.scale)}
+        save_trace(trace, args.path, meta=meta)
+        return (f"recorded {len(trace)} instructions from {name} "
+                f"(scale {args.scale}) to {args.path}")
+    if args.trace_command == "convert":
+        summary = convert_trace_file(args.src, args.dst)
+        return (f"converted {args.src} -> {args.dst} "
+                f"(v{summary['version']}, {summary['count']} records)")
+    summary = validate_trace_file(args.path)
+    lines = [f"{summary['path']}: OK",
+             f"  format version: {summary['version']}",
+             f"  name: {summary['name']}",
+             f"  records: {summary['count']}",
+             f"  sha256: {summary['sha256']}"]
+    if summary["meta"]:
+        lines.append(f"  meta: {summary['meta']}")
+    return "\n".join(lines)
+
+
 def _cmd_run(args) -> str:
-    trace = build_trace(args.kernel, args.scale)
+    import pathlib
+    kernel = args.kernel
+    if not has_target(kernel) and pathlib.Path(kernel).is_file():
+        # a trace-file path: import it on the fly and simulate that
+        kernel = add_trace_target(kernel).name
+    trace = build_trace(kernel, args.scale)
     config = make_config(args.preset, scheduler=args.scheduler,
                          commit=args.commit)
     core = O3Core(trace, config)
@@ -260,17 +350,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args) -> int:
     command = args.command
+    _register_cli_traces(args)
     if command == "kernels":
-        print("\n".join(kernel_names()))
+        print(_cmd_kernels(args))
     elif command == "run":
         print(_cmd_run(args))
+    elif command == "trace":
+        print(_cmd_trace(args))
     elif command == "characterize":
         print(format_characterization(scale=args.scale,
                                       names=args.kernels,
                                       **_exec_opts(args)))
     elif command == "save-trace":
         trace = build_trace(args.kernel, args.scale)
-        save_trace(trace, args.path)
+        target = get_target(args.kernel)
+        save_trace(trace, args.path,
+                   meta={"source": args.kernel, "scale": args.scale,
+                         "provenance": target.provenance()})
         print(f"wrote {len(trace)} instructions to {args.path}")
     elif command == "fig14":
         result = fig14(scale=args.scale, names=args.kernels,

@@ -8,8 +8,11 @@ cell cacheable under a stable content key:
 
 * every ``CoreConfig`` field (nested ``HierarchyConfig`` and the
   per-op-class latency table included),
-* the workload name plus its scaled generation parameters
-  (so ``REPRO_SCALE`` changes bust the key),
+* the workload name, scale, and the target's content fingerprint
+  (:func:`repro.workloads.workload_fingerprint` — scaled generation
+  parameters for synthetic kernels, the file sha256 for trace-file
+  targets, the composition recipe for scenarios; any of these changing
+  busts the key),
 * for criticality runs, the profile configuration's fingerprint,
 * the repro package version and the engine revision
   (:data:`repro.pipeline.ENGINE_VERSION` — bumped whenever the timing
@@ -43,7 +46,13 @@ import warnings
 from typing import Dict, Optional, Tuple
 
 from ..pipeline import ENGINE_VERSION, CoreConfig, SimStats
-from ..workloads import generation_params
+from ..workloads import workload_fingerprint
+
+#: bumped whenever the *key schema* changes (the payload layout below),
+#: as distinct from ENGINE_VERSION (bumped when the timing model's
+#: output could change).  v2: workloads are identified by their target
+#: fingerprint (content identity) instead of generation params alone.
+CACHE_KEY_VERSION = 2
 
 
 def _repro_version() -> str:
@@ -87,15 +96,16 @@ def cache_key(config: CoreConfig, workload: str, scale: float = 1.0,
               profile_config: Optional[CoreConfig] = None) -> str:
     """Stable content hash identifying one experiment cell."""
     try:
-        params = generation_params(workload, scale)
-    except ValueError:
-        params = {}
+        target = workload_fingerprint(workload, scale)
+    except ValueError:                 # ad-hoc name: key on name + scale
+        target = {}
     payload = {
+        "key_version": CACHE_KEY_VERSION,
         "version": _repro_version(),
         "engine": ENGINE_VERSION,
         "workload": workload,
         "scale": scale,
-        "params": params,
+        "target": target,
         "config": config_fingerprint(config),
         "profile": (config_fingerprint(profile_config)
                     if profile_config is not None else None),

@@ -12,10 +12,15 @@ executes them over the fault-isolated dispatcher in
   parallel, serial, and cached paths return bit-identical
   :class:`~repro.pipeline.SimStats` on fault-free runs.
 * **Spawn safety** — workers receive a pickled ``CoreConfig`` plus the
-  *workload name and scale*, never a pickled ``Trace``: traces are
-  large (megabytes of ``DynInstr``) and rebuilding from the seeded
-  workload registry is both cheaper than pickling and guaranteed to
-  reproduce the same instruction stream.  The ``spawn`` start method
+  *workload name, scale, and rebuild spec*
+  (``WorkloadTarget.worker_spec()``), never a pickled ``Trace``: traces
+  are large (megabytes of ``DynInstr``) and rebuilding from the target
+  registry is both cheaper than pickling and guaranteed to reproduce
+  the same instruction stream.  Registry-backed targets (synthetic
+  kernels, scenario families) re-register when the worker imports
+  ``repro.workloads``; trace-file targets ship ``(path, sha256)`` and
+  the worker re-imports the file under a checksum guard
+  (:func:`repro.workloads.ensure_target`).  The ``spawn`` start method
   is used explicitly so the executor behaves identically on every
   platform (fork would share the parent's trace cache by accident).
 * **Two-stage criticality** — jobs carrying a ``profile_config``
@@ -57,7 +62,7 @@ from ..envutil import env_flag, env_int
 from ..pipeline import CoreConfig, O3Core, SimStats
 from ..pipeline.lanes import LaneBatch, LaneCell, crosscheck, lane_key
 from ..testing import faults
-from ..workloads import SUITE, fetch_trace, generation_params
+from ..workloads import ensure_target, fetch_trace, get_target, has_target
 from .cache import ResultCache, cache_key
 from .diagnostics import build_crash_bundle, write_bundle
 from .resilience import (CellFailure, CellStatus, SuiteInterrupted,
@@ -123,22 +128,29 @@ def estimate_cell_seconds(workload: str, scale: float = 1.0) -> float:
     share a pipe round-trip, never what they compute.
     """
     try:
-        params = generation_params(workload, scale)
+        units = get_target(workload).cost_estimate(scale)
     except ValueError:
         return 0.0
-    return sum(params.values()) * _SECONDS_PER_PARAM_UNIT
+    return units * _SECONDS_PER_PARAM_UNIT
+
+
+def _workload_spec(workload: str):
+    """The picklable rebuild recipe shipped inside worker payloads."""
+    return get_target(workload).worker_spec()
 
 
 def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
              profile_config: Optional[CoreConfig] = None) -> List[Job]:
-    """Jobs covering ``traces`` (suite-registry traces only)."""
+    """Jobs covering ``traces`` (registered workload targets only)."""
     jobs = []
     for name, trace in traces.items():
         scale = getattr(trace, "scale", None)
-        if name not in SUITE or scale is None:
+        if not has_target(name) or scale is None:
             raise ValueError(
                 f"trace {name!r} is not rebuildable from the workload "
-                f"registry; use the serial runner for ad-hoc traces")
+                f"target registry (register it with "
+                f"repro.workloads.register_target / add_trace_target); "
+                f"use the serial runner for ad-hoc traces")
         jobs.append(Job(label, config, name, scale, profile_config))
     return jobs
 
@@ -149,9 +161,14 @@ def jobs_for(label: str, config: CoreConfig, traces: Dict[str, object],
 # LRU (:func:`repro.workloads.fetch_trace` — rebuilt from the registry
 # on a miss, never pickled), simulate, and return (picklable) SimStats
 # plus the cell's wall-clock seconds and whether its trace was an LRU
-# hit.  Because worker processes persist across chunks and run_suite
-# calls, and the parent sorts cells so same-workload cells share a
-# chunk, successive cells stop re-generating megabyte traces.
+# hit.  Each guarded payload carries the target's ``worker_spec()``
+# rebuild recipe (:func:`repro.workloads.ensure_target`): built-in
+# targets re-register when the worker imports repro.workloads, and
+# trace-file targets ship ``(path, sha256)`` so the worker re-imports
+# the file — verifying the checksum — instead of unpickling megabytes
+# of DynInstr.  Because worker processes persist across chunks and
+# run_suite calls, and the parent sorts cells so same-workload cells
+# share a chunk, successive cells stop re-generating megabyte traces.
 # The _simulate_* pair is the bare reference path (used in-process when
 # workers <= 1); the _guarded_* pair wraps it for the dispatcher —
 # applying injected faults and converting exceptions into failure
@@ -202,10 +219,11 @@ def _simulate_cell(task, subscribers: Sequence = ()
 
 def _guarded_profile(payload, attempt: int):
     """Dispatcher wrapper for stage 1: fault hooks + failure capture."""
-    cell_id, config, workload, scale, faults_text = payload
+    cell_id, config, workload, scale, workload_spec, faults_text = payload
     specs = faults.parse_fault_specs(faults_text)
     faults.preflight(specs, cell_id, attempt)
     try:
+        ensure_target(workload_spec)
         return "ok", _simulate_profile((config, workload, scale))
     except Exception as exc:
         tb = traceback.format_exc()
@@ -219,14 +237,15 @@ def _guarded_profile(payload, attempt: int):
 
 def _guarded_cell(payload, attempt: int):
     """Dispatcher wrapper for stage 2: fault hooks + failure capture."""
-    (label, config, workload, scale, profile, profile_config,
-     faults_text) = payload
+    (label, config, workload, scale, workload_spec, profile,
+     profile_config, faults_text) = payload
     cell_id = f"{label}/{workload}"
     specs = faults.parse_fault_specs(faults_text)
     faults.preflight(specs, cell_id, attempt)
     exploder = faults.explode_subscriber(specs, cell_id, attempt)
     subscribers = (exploder,) if exploder is not None else ()
     try:
+        ensure_target(workload_spec)
         stats, elapsed, trace_hit = _simulate_cell(
             (config, workload, scale, profile), subscribers)
         return "ok", (stats, elapsed, trace_hit)
@@ -256,7 +275,9 @@ def _guarded_lane_group(payload, attempt: int):
     try:
         key = lane_key(cells_data[0][1])
         cells, hits = [], []
-        for pos, (label, config, workload, scale) in enumerate(cells_data):
+        for pos, (label, config, workload, scale,
+                  workload_spec) in enumerate(cells_data):
+            ensure_target(workload_spec)
             trace, hit = fetch_trace(workload, scale)
             cells.append(LaneCell(pos, trace, config))
             hits.append(hit)
@@ -270,7 +291,7 @@ def _guarded_lane_group(payload, attempt: int):
         out = [None] * len(cells)
         for outcome in report.outcomes:
             pos = outcome.index
-            label, config, workload, scale = cells_data[pos]
+            label, config, workload, scale, _spec = cells_data[pos]
             if outcome.stats is not None:
                 out[pos] = {"status": "ok", "stats": outcome.stats,
                             "elapsed": outcome.elapsed,
@@ -518,7 +539,7 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
             spec = TaskSpec(next_task_id(), f"profile/{name}",
                             _guarded_profile,
                             (f"profile/{name}", config, name, scale,
-                             faults_text),
+                             _workload_spec(name), faults_text),
                             est_seconds=estimate_cell_seconds(name, scale))
             specs.append(spec)
             key_of[spec.task_id] = key
@@ -592,7 +613,8 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
                         f"lanes[{len(part)}]/{jobs[part[0]].workload}",
                         _guarded_lane_group,
                         ([(jobs[i].label, jobs[i].config,
-                           jobs[i].workload, jobs[i].scale)
+                           jobs[i].workload, jobs[i].scale,
+                           _workload_spec(jobs[i].workload))
                           for i in part], lanes, timeout),
                         est_seconds=sum(
                             estimate_cell_seconds(jobs[i].workload,
@@ -681,8 +703,8 @@ def run_suite(jobs: Sequence[Job], workers: Optional[int] = None,
             profile = profiles[key] if key is not None else None
             spec = TaskSpec(next_task_id(), job.cell_id, _guarded_cell,
                             (job.label, job.config, job.workload,
-                             job.scale, profile, job.profile_config,
-                             faults_text),
+                             job.scale, _workload_spec(job.workload),
+                             profile, job.profile_config, faults_text),
                             est_seconds=estimate_cell_seconds(
                                 job.workload, job.scale))
             specs.append(spec)

@@ -142,8 +142,15 @@ def resolve_execution(workers: Optional[int] = None,
 
 
 def _registry_backed(traces: Dict[str, Trace]) -> bool:
-    from ..workloads import SUITE
-    return all(name in SUITE and getattr(trace, "scale", None) is not None
+    """Every trace rebuildable by name from the target registry?
+
+    Registered targets of any kind (synthetic, scenario, trace-file)
+    qualify for the executor; truly ad-hoc in-memory traces take the
+    serial seed path.
+    """
+    from ..workloads import has_target
+    return all(has_target(name)
+               and getattr(trace, "scale", None) is not None
                for name, trace in traces.items())
 
 

@@ -9,7 +9,8 @@ from .program import Program
 from .registers import (FP_BASE, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS,
                         ZERO_REG, fp_reg, int_reg, is_fp, parse_reg, reg_name)
 from .trace import DynInstr, Trace
-from .tracefile import load_trace, save_trace
+from .tracefile import (convert_trace_file, file_sha256, load_trace,
+                        read_header, save_trace, validate_trace_file)
 
 __all__ = [
     "AssemblerError", "assemble", "ProgramBuilder", "Emulator",
@@ -17,6 +18,7 @@ __all__ = [
     "MEM_CLASSES", "Instruction", "OpClass", "Opcode",
     "opcode_from_mnemonic", "Program", "FP_BASE", "NUM_ARCH_REGS",
     "NUM_FP_REGS", "NUM_INT_REGS", "ZERO_REG", "fp_reg", "int_reg", "is_fp",
-    "parse_reg", "reg_name", "DynInstr", "Trace", "load_trace",
-    "save_trace",
+    "parse_reg", "reg_name", "DynInstr", "Trace", "convert_trace_file",
+    "file_sha256", "load_trace", "read_header", "save_trace",
+    "validate_trace_file",
 ]

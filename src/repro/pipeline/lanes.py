@@ -30,6 +30,13 @@ Lane batching is engine-internal and never sees external event-bus
 subscribers: the harness builds fresh cores per cell, and the CLI
 paths that attach live per-cycle subscribers (``--timeline``,
 ``--events``, ``repro profile``) refuse or bypass lane mode.
+
+Batches are workload-agnostic: a :class:`LaneCell` holds a concrete
+trace, so any registered workload target (synthetic kernel, imported
+trace file, generated scenario) lane-batches the same way.  The
+harness orders batch-mates by target identity — the ``(name, scale)``
+key of the shared trace LRU — so consecutive lane refills of the same
+target hit the cache instead of rebuilding or re-reading the trace.
 """
 
 from __future__ import annotations

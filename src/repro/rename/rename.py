@@ -52,6 +52,9 @@ class RenameRecord:
     srcs_phys: Tuple[int, ...]
     #: sources renamed but not yet read (cleared by operands_read)
     reads_outstanding: bool = True
+    #: prev_phys was reclaimed (commit, or Cherry-style early release)
+    #: — the rename can no longer be undone
+    released: bool = False
 
 
 class RenameUnit:
@@ -162,6 +165,7 @@ class RenameUnit:
             return
         if record.prev_phys is None:
             return
+        record.released = True
         prev = self.rst[record.prev_phys]
         prev.overwriter_committed = True
         if self.scheme == "inorder":
@@ -189,12 +193,24 @@ class RenameUnit:
                 for phys in record.srcs_phys:
                     if phys in self.rst:
                         self.rst[phys].consumers -= 1
-            if record.phys_dst is not None:
-                self.rat[record.arch_dst] = record.prev_phys
-                self.rst[record.prev_phys].architectural = True
-                self.rst[record.prev_phys].overwriter_committed = False
-                del self.rst[record.phys_dst]
-                self._free_phys(record.phys_dst)
+            if record.phys_dst is None:
+                continue
+            if record.released:
+                # Cherry-style early release already reclaimed
+                # prev_phys (possibly re-allocated by now): the rename
+                # is irreversible.  Keep phys_dst as the architectural
+                # mapping so the refetched stream renames against it.
+                entry = self.rst.get(record.phys_dst)
+                if (entry is not None
+                        and self.rat[record.arch_dst] == record.phys_dst):
+                    entry.architectural = True
+                    entry.overwriter_committed = False
+                continue
+            self.rat[record.arch_dst] = record.prev_phys
+            self.rst[record.prev_phys].architectural = True
+            self.rst[record.prev_phys].overwriter_committed = False
+            del self.rst[record.phys_dst]
+            self._free_phys(record.phys_dst)
 
     # -- introspection ----------------------------------------------------
 

@@ -1,12 +1,24 @@
-"""SPEC-surrogate workload kernels and the benchmark suite."""
+"""SPEC-surrogate workload kernels, targets, and the benchmark suite."""
 
 from . import kernels
+from .scenarios import DrainTarget, InterleaveTarget, PhaseTarget
 from .suite import (SUITE, build_program, build_suite, build_trace,
                     clear_trace_cache, fetch_trace, generation_params,
-                    kernel_names, trace_cache_cap, trace_cache_stats)
+                    kernel_names, sweep_names, trace_cache_cap,
+                    trace_cache_stats)
 from .synthetic import SyntheticSpec
+from .targets import (SyntheticTarget, TraceFileTarget, WorkloadTarget,
+                      add_trace_target, ensure_target, get_target,
+                      has_target, iter_targets, register_target,
+                      scale_params, target_names, unregister_target,
+                      workload_fingerprint)
 
 __all__ = ["SUITE", "build_program", "build_suite", "build_trace",
            "clear_trace_cache", "fetch_trace", "generation_params",
-           "kernel_names", "kernels", "trace_cache_cap",
-           "trace_cache_stats", "SyntheticSpec"]
+           "kernel_names", "kernels", "sweep_names", "trace_cache_cap",
+           "trace_cache_stats", "SyntheticSpec",
+           "WorkloadTarget", "SyntheticTarget", "TraceFileTarget",
+           "DrainTarget", "InterleaveTarget", "PhaseTarget",
+           "add_trace_target", "ensure_target", "get_target", "has_target",
+           "iter_targets", "register_target", "scale_params",
+           "target_names", "unregister_target", "workload_fingerprint"]

@@ -1,4 +1,23 @@
-"""The benchmark suite: kernel registry, scaling, and trace caching."""
+"""The benchmark suite: target registry wiring, scaling, trace caching.
+
+The suite is no longer a closed dict: every workload is a
+:class:`~repro.workloads.targets.WorkloadTarget` in the shared
+registry — the synthetic kernels register here at import, the stock
+scenario families (``repro.workloads.scenarios``) right after, and
+trace-file targets whenever a user imports one
+(:func:`~repro.workloads.targets.add_trace_target`).  ``SUITE`` remains
+as a compatibility view over the synthetic kernels.
+
+This module owns two things the registry deliberately doesn't:
+
+* the bounded trace LRU (:func:`fetch_trace`) keyed on target identity
+  ``(name, scale)``, shared by the serial path, the lane engine, and
+  every worker process;
+* suite-level enumeration (:func:`build_suite`, :func:`sweep_names`) —
+  default sweeps cover *every* sweep-eligible registered target, so a
+  newly registered target automatically joins the figures, the bench,
+  and the characterisation table.
+"""
 
 from __future__ import annotations
 
@@ -6,41 +25,56 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..envutil import env_int
-from ..isa import Program, Trace, trace_program
+from ..isa import Program, Trace
 from . import kernels
+from .targets import (SyntheticTarget, get_target, register_target,
+                      scale_params)
+from .targets import sweep_names as _registry_sweep_names
+
+#: (name, factory, size params, per-kernel scaling minimums) — names
+#: carry the SPEC CPU2017 application each kernel stands in for.
+#: ``blender.matmul``'s dim floors at 4, not the default 8: a dim-12
+#: kernel floored at 8 would ignore every scale below 0.7.
+_KERNEL_SPECS = (
+    ("mcf.chase", kernels.pointer_chase, {"steps": 600}, None),
+    ("lbm.stream", kernels.stream_triad, {"n": 700}, None),
+    ("cactu.stencil", kernels.stencil, {"n": 600}, None),
+    ("nab.reduce", kernels.fp_reduction, {"n": 900}, None),
+    ("perl.branchy", kernels.branchy, {"n": 800}, None),
+    ("xalanc.hash", kernels.hash_probe, {"n": 1000}, None),
+    ("gcc.mix", kernels.gcc_mix, {"n": 700}, None),
+    ("blender.matmul", kernels.matmul, {"dim": 12}, {"dim": 4}),
+    ("sjeng.listupd", kernels.list_update, {"steps": 700}, None),
+    ("x264.divint", kernels.div_chain, {"n": 500}, None),
+    ("omnet.tree", kernels.tree_search, {"queries": 60}, None),
+    ("leela.chains", kernels.mixed_chains, {"iters": 600}, None),
+    ("fotonik.strided", kernels.strided_fp, {"n": 900}, None),
+    ("mcf.multichase", kernels.multi_chase, {"steps": 400}, None),
+)
 
 
-def _scaled(factory: Callable[..., Program], **size_params):
+def _suite_entry(target: SyntheticTarget) -> Callable[[float], Program]:
     def build(scale: float = 1.0) -> Program:
-        return factory(**scale_params(size_params, scale))
-    build.size_params = dict(size_params)
+        return target.build_program(scale)
+    build.size_params = dict(target.size_params)
+    build.target = target
     return build
 
 
-def scale_params(size_params: Dict[str, int],
-                 scale: float) -> Dict[str, int]:
-    return {key: max(8, int(value * scale))
-            for key, value in size_params.items()}
+#: compatibility view: kernel name -> builder taking a ``scale`` factor
+SUITE: Dict[str, Callable[[float], Program]] = {}
+for _name, _factory, _size, _mins in _KERNEL_SPECS:
+    _target = register_target(
+        SyntheticTarget(_name, _factory, _size, minimums=_mins),
+        replace=True)
+    SUITE[_name] = _suite_entry(_target)
+del _name, _factory, _size, _mins, _target
 
+# stock scenario families compose the kernels registered above, so
+# their registration must come second
+from . import scenarios as _scenarios          # noqa: E402
+_scenarios.register_default_scenarios()
 
-#: kernel name -> builder taking a ``scale`` factor.  Names carry the
-#: SPEC CPU2017 application each kernel stands in for.
-SUITE: Dict[str, Callable[[float], Program]] = {
-    "mcf.chase": _scaled(kernels.pointer_chase, steps=600),
-    "lbm.stream": _scaled(kernels.stream_triad, n=700),
-    "cactu.stencil": _scaled(kernels.stencil, n=600),
-    "nab.reduce": _scaled(kernels.fp_reduction, n=900),
-    "perl.branchy": _scaled(kernels.branchy, n=800),
-    "xalanc.hash": _scaled(kernels.hash_probe, n=1000),
-    "gcc.mix": _scaled(kernels.gcc_mix, n=700),
-    "blender.matmul": _scaled(kernels.matmul, dim=12),
-    "sjeng.listupd": _scaled(kernels.list_update, steps=700),
-    "x264.divint": _scaled(kernels.div_chain, n=500),
-    "omnet.tree": _scaled(kernels.tree_search, queries=60),
-    "leela.chains": _scaled(kernels.mixed_chains, iters=600),
-    "fotonik.strided": _scaled(kernels.strided_fp, n=900),
-    "mcf.multichase": _scaled(kernels.multi_chase, steps=400),
-}
 
 # traces are megabytes of DynInstr, so the cache is a bounded LRU:
 # chunked harness dispatch affines same-workload cells to one process,
@@ -71,31 +105,48 @@ def clear_trace_cache() -> None:
 
 
 def kernel_names() -> List[str]:
+    """The synthetic kernel names (the classic suite view)."""
     return list(SUITE)
 
 
-def generation_params(name: str, scale: float = 1.0) -> Dict[str, int]:
-    """The scaled size parameters a kernel would be generated with.
+def sweep_names() -> List[str]:
+    """Every registered target a default sweep covers (all kinds)."""
+    return _registry_sweep_names()
 
-    This is what the result cache keys on: two traces built from the
-    same (name, params) pair are identical, so their simulation results
-    are interchangeable.
+
+def generation_params(name: str, scale: float = 1.0) -> Dict[str, int]:
+    """The scaled size parameters a synthetic kernel is built with.
+
+    Reflects the *actual* built size (per-kernel minimums included).
+    Only synthetic targets have generation parameters; other kinds
+    raise ``ValueError`` (their cache identity is the target
+    fingerprint instead).
     """
-    try:
-        build = SUITE[name]
-    except KeyError as exc:
-        raise ValueError(f"unknown kernel {name!r}; "
-                         f"choose from {sorted(SUITE)}") from exc
-    return scale_params(getattr(build, "size_params", {}), scale)
+    target = get_target(name)
+    if not isinstance(target, SyntheticTarget):
+        raise ValueError(f"target {name!r} is {target.kind}; only "
+                         f"synthetic kernels have generation parameters")
+    return target.params(scale)
 
 
 def build_program(name: str, scale: float = 1.0) -> Program:
-    try:
-        factory = SUITE[name]
-    except KeyError as exc:
-        raise ValueError(f"unknown kernel {name!r}; "
-                         f"choose from {sorted(SUITE)}") from exc
-    return factory(scale)
+    target = get_target(name)
+    if not isinstance(target, SyntheticTarget):
+        raise ValueError(f"target {name!r} is {target.kind}; only "
+                         f"synthetic kernels build a Program")
+    return target.build_program(scale)
+
+
+def _stamped(trace: Trace, name: str, scale: float) -> Trace:
+    """Stamp suite bookkeeping onto a freshly built trace.
+
+    ``name``/``scale`` are what the harness keys on (job construction,
+    cache keys, worker rebuilds) — every trace the suite hands out must
+    carry them, whichever path built it.
+    """
+    trace.name = name
+    trace.scale = scale
+    return trace
 
 
 def fetch_trace(name: str, scale: float = 1.0) -> Tuple[Trace, bool]:
@@ -113,10 +164,7 @@ def fetch_trace(name: str, scale: float = 1.0) -> Tuple[Trace, bool]:
         _trace_hits += 1
         return trace, True
     _trace_misses += 1
-    trace = trace_program(build_program(name, scale),
-                          max_instrs=10_000_000)
-    trace.name = name
-    trace.scale = scale
+    trace = _stamped(get_target(name).build_trace(scale), name, scale)
     _trace_cache[key] = trace
     cap = trace_cache_cap()
     while len(_trace_cache) > cap:
@@ -126,23 +174,19 @@ def fetch_trace(name: str, scale: float = 1.0) -> Tuple[Trace, bool]:
 
 def build_trace(name: str, scale: float = 1.0,
                 use_cache: bool = True) -> Trace:
-    """Emulate the kernel and return its dynamic trace (LRU-cached).
+    """Build any registered target's trace (LRU-cached by default).
 
     Traces are shared objects; runs that mutate per-instruction tags
     (criticality) must clear them afterwards
     (:func:`repro.criticality.clear_tags`).
     """
     if not use_cache:
-        trace = trace_program(build_program(name, scale),
-                              max_instrs=10_000_000)
-        trace.name = name
-        trace.scale = scale
-        return trace
+        return _stamped(get_target(name).build_trace(scale), name, scale)
     return fetch_trace(name, scale)[0]
 
 
 def build_suite(scale: float = 1.0,
                 names: Optional[List[str]] = None) -> Dict[str, Trace]:
-    """Traces for the whole suite (or a subset)."""
-    selected = names if names is not None else kernel_names()
+    """Traces for every sweep-eligible target (or an explicit subset)."""
+    selected = names if names is not None else sweep_names()
     return {name: build_trace(name, scale) for name in selected}

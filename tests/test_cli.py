@@ -89,6 +89,86 @@ class TestNewCommands:
         assert "geomean speedup vs IOC" in out and "|" in out
 
 
+class TestTraceCommands:
+    """``repro trace record/convert/validate`` and target listing."""
+
+    def test_kernels_lists_kinds_and_provenance(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic" in out and "scenario" in out
+        assert "smt.gccdiv" in out and "sys.drain" in out
+        assert "kernels.gcc_mix" in out
+
+    def test_record_validate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "rec.jsonl"
+        assert main(["trace", "record", "gcc.mix", str(path),
+                     "--scale", "0.2"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["trace", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "sha256" in out and "gcc.mix" in out
+
+    def test_convert_v1(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.isa import load_trace, read_header, save_trace
+        from repro.workloads import build_trace
+        src, dst = tmp_path / "v1.jsonl", tmp_path / "v2.jsonl"
+        trace = build_trace("x264.divint", 0.2)
+        save_trace(trace, src)
+        # rewrite the header as v1 (drop meta)
+        lines = src.read_text().splitlines()
+        header = jsonlib.loads(lines[0])
+        header["version"] = 1
+        del header["meta"]
+        lines[0] = jsonlib.dumps(header)
+        src.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "convert", str(src), str(dst)]) == 0
+        assert "converted" in capsys.readouterr().out
+        assert read_header(dst)["version"] == 2
+        assert len(load_trace(dst)) == len(trace)
+
+    def test_validate_rejects_corruption(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        assert main(["trace", "record", "x264.divint", str(path),
+                     "--scale", "0.2"]) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        lines[3] = lines[3].replace(lines[3][1:lines[3].index(",")],
+                                    '"oops"', 1)
+        path.write_text("\n".join(lines) + "\n")
+        from repro.isa import validate_trace_file
+        with pytest.raises(ValueError, match="line 4"):
+            validate_trace_file(path)
+
+    def test_run_accepts_trace_path(self, tmp_path, capsys):
+        from repro.workloads import unregister_target
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", "record", "gcc.mix", str(path),
+                     "--scale", "0.2"]) == 0
+        capsys.readouterr()
+        try:
+            assert main(["run", str(path), "--commit", "orinoco"]) == 0
+            assert "IPC" in capsys.readouterr().out
+        finally:
+            unregister_target("trace:gcc.mix")
+
+    def test_experiment_accepts_trace_import(self, tmp_path, capsys):
+        from repro.workloads import unregister_target
+        path = tmp_path / "sweep.jsonl"
+        assert main(["trace", "record", "gcc.mix", str(path),
+                     "--scale", "0.15"]) == 0
+        capsys.readouterr()
+        try:
+            assert main(["fig14", "--scale", "0.15", "--no-cache",
+                         "--trace", str(path),
+                         "--kernels", "trace:gcc.mix"]) == 0
+            out = capsys.readouterr().out
+            assert "Figure 14" in out and "trace:gcc.mix" in out
+        finally:
+            unregister_target("trace:gcc.mix")
+
+
 class TestExecutorFlags:
     def test_jobs_and_no_cache_parsed(self):
         args = build_parser().parse_args(

@@ -112,12 +112,35 @@ class TestPreciseExceptions:
         b.halt()
         return trace_program(b.build())
 
-    @pytest.mark.parametrize("commit", ["ioc", "orinoco", "vb", "ecl"])
+    @pytest.mark.parametrize("commit", ["ioc", "orinoco", "vb", "vb_noecl",
+                                        "br", "br_noecl", "spec",
+                                        "spec_norob", "ecl", "rob"])
     def test_exception_is_precise(self, commit):
         trace = self._fault_trace()
         stats = simulate(trace, base_config(commit=commit))
         assert stats.exceptions == 1
-        # every instruction except the faulting one retires
+        # every instruction except the faulting one retires (the full
+        # Cherry oracle absorbs the fault into its checkpoint and
+        # retires the faulting instruction too)
+        expected = len(trace) if commit == "spec" else len(trace) - 1
+        assert stats.committed == expected
+
+    def test_early_released_victims_squash_cleanly(self):
+        """spec_norob recycles registers at completion; a younger
+        completed instruction squashed by an older instruction's
+        exception must not try to unwind its (irreversible) rename."""
+        b = ProgramBuilder("early-release-squash")
+        b.li("x5", 1)
+        b.li("x1", 0x1000)
+        b.ld("x2", "x1", 0, fault=True)      # faults once oldest
+        # independent overwriters: they complete (and early-release
+        # their prev mappings) before the flush squashes them
+        for _ in range(4):
+            b.addi("x5", "x5", 1)
+        b.halt()
+        trace = trace_program(b.build())
+        stats = simulate(trace, base_config(commit="spec_norob"))
+        assert stats.exceptions == 1
         assert stats.committed == len(trace) - 1
 
     def test_exception_in_orinoco_waits_for_older(self):

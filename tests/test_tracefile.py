@@ -72,3 +72,168 @@ class TestErrors:
         path.write_text("\n".join(lines[:-2]) + "\n")
         with pytest.raises(ValueError, match="truncated"):
             load_trace(path)
+
+
+def _mangle_record(path, index, mutate):
+    """Rewrite record ``index`` (0-based) through ``mutate(record)``."""
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[1 + index])
+    lines[1 + index] = json.dumps(mutate(record))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestErrorReporting:
+    """Malformed files name the file, line, and offending field."""
+
+    @pytest.fixture
+    def saved(self, tmp_path, trace):
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        return path
+
+    def test_unknown_opcode_names_file_and_line(self, saved):
+        def mutate(record):
+            record[2] = "FROBNICATE"
+            return record
+        _mangle_record(saved, 1, mutate)
+        with pytest.raises(ValueError,
+                           match=r"line 3: unknown opcode 'FROBNICATE'"):
+            load_trace(saved)
+
+    def test_wrong_arity_names_line(self, saved):
+        _mangle_record(saved, 0, lambda record: record[:9])
+        with pytest.raises(ValueError, match="line 2: expected a 10-field"):
+            load_trace(saved)
+
+    def test_bad_field_type_names_field(self, saved):
+        def mutate(record):
+            record[1] = "not-a-pc"
+            return record
+        _mangle_record(saved, 2, mutate)
+        with pytest.raises(ValueError, match=r"line 4: field 'pc'"):
+            load_trace(saved)
+
+    def test_bad_srcs_named(self, saved):
+        def mutate(record):
+            record[4] = [1, "x2"]
+            return record
+        _mangle_record(saved, 0, mutate)
+        with pytest.raises(ValueError, match=r"field 'srcs'"):
+            load_trace(saved)
+
+    def test_seq_index_mismatch_rejected(self, saved):
+        def mutate(record):
+            record[0] += 5
+            return record
+        _mangle_record(saved, 3, mutate)
+        with pytest.raises(ValueError, match=r"line 5: field 'seq'"):
+            load_trace(saved)
+
+    def test_unparseable_record_names_line(self, saved):
+        lines = saved.read_text().splitlines()
+        lines[2] = "{not json"
+        saved.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 3: malformed JSON"):
+            load_trace(saved)
+
+    def test_excess_records_rejected(self, saved):
+        lines = saved.read_text().splitlines()
+        lines.append(lines[-1])          # duplicate the final record
+        saved.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="more follow"):
+            load_trace(saved)
+
+    def test_bad_header_count(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 2,
+                                    "count": "many"}) + "\n")
+        with pytest.raises(ValueError, match="'count'"):
+            load_trace(path)
+
+
+class TestV1Migration:
+    """v1 files (no ``meta`` header field) stay loadable forever."""
+
+    @pytest.fixture
+    def v1_path(self, tmp_path, trace):
+        path = tmp_path / "v1.jsonl"
+        lines = [json.dumps({"format": "repro-trace", "version": 1,
+                             "name": trace.name, "count": len(trace)})]
+        for i in trace:
+            lines.append(json.dumps(
+                [i.seq, i.pc, i.opcode.name, i.dst, list(i.srcs), i.imm,
+                 i.addr, int(i.taken), i.next_pc, int(i.fault)]))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_v1_loads_through_v2_reader(self, v1_path, trace):
+        loaded = load_trace(v1_path)
+        assert len(loaded) == len(trace)
+        assert loaded.meta == {}
+        for a, b in zip(trace, loaded):
+            assert (a.seq, a.opcode, a.addr) == (b.seq, b.opcode, b.addr)
+
+    def test_convert_rewrites_as_v2(self, v1_path, tmp_path, trace):
+        from repro.isa import convert_trace_file, read_header
+        dst = tmp_path / "v2.jsonl"
+        summary = convert_trace_file(v1_path, dst)
+        assert summary["version"] == 2 and summary["count"] == len(trace)
+        header = read_header(dst)
+        assert header["meta"]["converted_from"]["version"] == 1
+        a = load_trace(v1_path)
+        b = load_trace(dst)
+        assert [repr(i) for i in a] == [repr(i) for i in b]
+
+    def test_validate_summarises(self, v1_path, trace):
+        from repro.isa import file_sha256, validate_trace_file
+        summary = validate_trace_file(v1_path)
+        assert summary["count"] == len(trace)
+        assert summary["sha256"] == file_sha256(v1_path)
+
+
+class TestRoundTripProperty:
+    """Random DynInstr sequences survive a save/load round trip."""
+
+    def test_random_traces_round_trip(self, tmp_path):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from repro.isa import DynInstr, Opcode, Trace
+
+        opcodes = sorted(Opcode, key=lambda op: op.name)
+        regs = st.integers(min_value=0, max_value=63)
+        instr_fields = st.tuples(
+            st.sampled_from(opcodes),
+            st.none() | regs,                          # dst
+            st.lists(regs, max_size=3),                # srcs
+            st.integers(min_value=-2**31, max_value=2**31),   # imm
+            st.none() | st.integers(min_value=0, max_value=2**40),  # addr
+            st.booleans(),                             # taken
+            st.integers(min_value=0, max_value=2**20),        # next_pc
+            st.booleans(),                             # fault
+        )
+
+        @settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(st.lists(instr_fields, min_size=1, max_size=40))
+        def check(rows):
+            instrs = [
+                DynInstr(seq=index, pc=index * 2, opcode=op,
+                         op_class=op.op_class, dst=dst, srcs=tuple(srcs),
+                         imm=imm, addr=addr, taken=taken, next_pc=next_pc,
+                         fault=fault, critical=False)
+                for index, (op, dst, srcs, imm, addr, taken, next_pc,
+                            fault) in enumerate(rows)]
+            path = tmp_path / "prop.jsonl"
+            save_trace(Trace(instrs, name="prop"), path,
+                       meta={"origin": "hypothesis"})
+            loaded = load_trace(path)
+            assert loaded.meta == {"origin": "hypothesis"}
+            assert len(loaded) == len(instrs)
+            for a, b in zip(instrs, loaded):
+                assert (a.seq, a.pc, a.opcode, a.dst, a.srcs, a.imm,
+                        a.addr, a.taken, a.next_pc, a.fault) == \
+                       (b.seq, b.pc, b.opcode, b.dst, b.srcs, b.imm,
+                        b.addr, b.taken, b.next_pc, b.fault)
+
+        check()

@@ -4,8 +4,10 @@ import pytest
 
 from repro.isa import Emulator, OpClass
 from repro.workloads import (build_program, build_suite, build_trace,
-                             clear_trace_cache, fetch_trace, kernel_names,
-                             kernels, trace_cache_cap, trace_cache_stats)
+                             clear_trace_cache, fetch_trace,
+                             generation_params, kernel_names, kernels,
+                             scale_params, sweep_names, trace_cache_cap,
+                             trace_cache_stats)
 
 
 class TestRegistry:
@@ -32,6 +34,31 @@ class TestRegistry:
         small = build_trace("gcc.mix", scale=0.5, use_cache=False)
         full = build_trace("gcc.mix", scale=1.0, use_cache=False)
         assert len(small) < len(full)
+
+
+class TestScaleParams:
+    def test_default_floor(self):
+        assert scale_params({"n": 700}, 0.001) == {"n": 8}
+
+    def test_per_key_minimum_overrides_floor(self):
+        assert scale_params({"dim": 12}, 0.25, {"dim": 4}) == {"dim": 4}
+        assert scale_params({"dim": 12}, 0.5, {"dim": 4}) == {"dim": 6}
+
+    def test_matmul_scales_below_the_old_floor(self):
+        # the blanket max(8, ...) floor used to pin dim=12 kernels at 8
+        # for every scale below 0.7 — scaling must actually scale
+        assert generation_params("blender.matmul", 0.5) == {"dim": 6}
+        assert generation_params("blender.matmul", 0.25) == {"dim": 4}
+        half = build_trace("blender.matmul", 0.5, use_cache=False)
+        full = build_trace("blender.matmul", 1.0, use_cache=False)
+        assert len(half) < len(full)
+
+    def test_generation_params_reflect_built_size(self):
+        # the cache key must describe the kernel actually generated
+        params = generation_params("gcc.mix", 0.01)
+        program = kernels.gcc_mix(**params)
+        assert program is not None
+        assert params == {"n": 8}
 
 
 class TestTraceLRU:
@@ -166,6 +193,10 @@ class TestBehaviourClasses:
 
     def test_suite_builds_all(self):
         suite = build_suite(scale=0.25)
-        assert set(suite) == set(kernel_names())
+        # default sweeps enumerate the whole target registry: every
+        # synthetic kernel plus the stock scenario families
+        assert set(suite) == set(sweep_names())
+        assert set(kernel_names()) < set(suite)
+        assert {"smt.gccdiv", "sys.drain", "phase.flip"} <= set(suite)
         for trace in suite.values():
             assert len(trace) > 100

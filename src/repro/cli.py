@@ -401,16 +401,25 @@ def _dispatch(args) -> int:
     elif command == "bench":
         print(_cmd_bench(args))
     elif command == "profile":
-        # fail fast: the profiler's per-stage timers and event
-        # subscribers see exactly one core — a lane batch would report
-        # meaningless interleaved numbers, so refuse instead
         lanes = args.lanes if args.lanes is not None else default_lanes()
         if lanes != 1:
-            print(f"error: profile requires --lanes 1 (got lanes={lanes}"
-                  f"{'' if args.lanes is not None else ' via $REPRO_LANES'}"
-                  f"); the profiler instruments a single core's stages",
-                  file=sys.stderr)
-            return 2
+            # lane batches get their own attribution: scalar stage
+            # buckets summed over lanes plus the cross-lane fused
+            # kernel buckets.  Event subscribers attach to a single
+            # core's bus, so --events still needs --lanes 1.
+            if args.events:
+                print("error: --events requires --lanes 1 (event "
+                      "subscribers instrument a single core's bus)",
+                      file=sys.stderr)
+                return 2
+            from .profiling import profile_lanes
+            report = profile_lanes(
+                args.kernel, scale=args.scale, preset=args.preset,
+                scheduler=args.scheduler, commit=args.commit,
+                lanes=lanes, cprofile_top=args.cprofile,
+                cprofile_sort=args.sort)
+            print(report.format())
+            return 0
         from .profiling import profile_run
         report = profile_run(
             args.kernel, scale=args.scale, preset=args.preset,

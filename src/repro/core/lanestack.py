@@ -93,11 +93,14 @@ class LaneSlot:
     """One lane's worth of views into a :class:`LaneStack`."""
 
     __slots__ = ("lane", "iq_size", "rob_size", "iq_age", "wakeup",
-                 "merged", "rob_scratch")
+                 "merged", "rob_scratch", "issue_ready", "iq_stamp",
+                 "iq_fu")
 
     def __init__(self, lane: int, iq_size: int, rob_size: int,
                  iq_age: AgePlanes, wakeup: WakeupPlanes,
-                 merged: MergedPlanes, rob_scratch: np.ndarray):
+                 merged: MergedPlanes, rob_scratch: np.ndarray,
+                 issue_ready: np.ndarray, iq_stamp: np.ndarray,
+                 iq_fu: np.ndarray):
         self.lane = lane
         self.iq_size = iq_size
         self.rob_size = rob_size
@@ -105,6 +108,9 @@ class LaneSlot:
         self.wakeup = wakeup
         self.merged = merged
         self.rob_scratch = rob_scratch
+        self.issue_ready = issue_ready
+        self.iq_stamp = iq_stamp
+        self.iq_fu = iq_fu
 
 
 class LaneStack:
@@ -147,6 +153,18 @@ class LaneStack:
         self.safe = np.zeros((lanes, rob_size), dtype=bool)
         # per-lane ROB-sized bool scratch (PipelineState.rob_scratch)
         self.rob_scratch = np.zeros((lanes, rob_size), dtype=bool)
+        # issue-stage struct-of-arrays columns (repro.pipeline.
+        # vectorstages): the per-op Python state the vectorized select
+        # kernel needs, promoted to lane-axis planes.  ``issue_ready``
+        # mirrors each lane's ``PipelineState.ready_set`` bit-for-bit
+        # (maintained by the MirroredReadySet wrapper); ``iq_stamp`` /
+        # ``iq_fu`` hold the occupant's dispatch stamp and FU code,
+        # written at dispatch.  Freed entries keep stale stamps — the
+        # kernels mask with ``issue_ready``, which only covers live
+        # ready entries, so stale values are never read.
+        self.issue_ready = np.zeros((lanes, iq_size), dtype=bool)
+        self.iq_stamp = np.zeros((lanes, iq_size), dtype=np.int64)
+        self.iq_fu = np.zeros((lanes, iq_size), dtype=np.int8)
 
     def slot(self, lane: int) -> LaneSlot:
         """Views for one lane, ready to back a ``PipelineState``."""
@@ -165,7 +183,9 @@ class LaneStack:
                 self.rob_age_valid[lane], self.rob_age_critical[lane]),
             self.spec[lane], self.blockers[lane], self.safe[lane])
         return LaneSlot(lane, self.iq_size, self.rob_size, iq_age,
-                        wakeup, merged, self.rob_scratch[lane])
+                        wakeup, merged, self.rob_scratch[lane],
+                        self.issue_ready[lane], self.iq_stamp[lane],
+                        self.iq_fu[lane])
 
     # -- batched cross-lane operations ---------------------------------
 

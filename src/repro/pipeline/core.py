@@ -49,7 +49,7 @@ __all__ = ["ENGINE_VERSION", "DeadlockError", "InflightOp", "O3Core",
 #: work that is proven bit-exact (e.g. the quiescent-cycle
 #: fast-forward, the lane-stacked matrix storage) still warrants a
 #: bump out of caution.
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
 
 _CYCLE = EventType.CYCLE
 _RUN_END = EventType.RUN_END
@@ -167,6 +167,42 @@ class O3Core:
             tick(cycle)
         self._tick_stats(cycle)
         s.cycle += 1
+        if s.cycle - s.progress_cycle > 50_000:
+            raise DeadlockError(
+                f"no progress since cycle {s.progress_cycle}: "
+                f"window={list(s.window.values())[:8]}")
+
+    # ------------------------------------------------------------------
+    # lane-engine phase entry points (repro.pipeline.vectorstages).
+    # One lockstep cycle is the scalar step() re-ordered stage-major
+    # across lanes; these two methods bundle the per-lane prefix and
+    # suffix into single Python calls so the vector engine pays one
+    # call per lane per phase instead of one per stage.
+    # ------------------------------------------------------------------
+
+    def vec_phase_a(self) -> None:
+        """Cycle prefix: FU reset, the commit / writeback / memory /
+        execute ticks and the wrong-path ready drain, in scalar
+        :meth:`step` order."""
+        s = self.state
+        cycle = s.cycle
+        s.fupool.begin_cycle(cycle)
+        ticks = self._ticks
+        ticks[0](cycle)
+        ticks[1](cycle)
+        ticks[2](cycle)
+        ticks[3](cycle)
+        if s.wp_ready:
+            self.stages[4].drain_wp(cycle)
+
+    def vec_phase_d(self) -> None:
+        """Cycle suffix: fetch tick, per-cycle stats, cycle advance
+        and the no-progress watchdog — the scalar :meth:`step` tail."""
+        s = self.state
+        cycle = s.cycle
+        self._ticks[6](cycle)
+        self._tick_stats(cycle)
+        s.cycle = cycle + 1
         if s.cycle - s.progress_cycle > 50_000:
             raise DeadlockError(
                 f"no progress since cycle {s.progress_cycle}: "

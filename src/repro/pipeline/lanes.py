@@ -53,6 +53,7 @@ from .config import CoreConfig
 from .core import DeadlockError, O3Core
 from .fastforward import FastForward
 from .stats import SimStats
+from .vectorstages import VectorEngine, lane_vectorizable, select_live
 
 __all__ = ["LaneBatch", "LaneCell", "LaneDivergence", "LaneOutcome",
            "LaneReport", "crosscheck", "lane_key"]
@@ -123,7 +124,7 @@ class LaneReport:
 class _Lane:
     """One occupied lane: slot id, cell, core, fast-forward, timing."""
 
-    __slots__ = ("slot_id", "cell", "core", "ff", "elapsed")
+    __slots__ = ("slot_id", "cell", "core", "ff", "elapsed", "vec_ok")
 
     def __init__(self, slot_id: int, cell: LaneCell, core: O3Core,
                  ff: Optional[FastForward], elapsed: float):
@@ -132,6 +133,8 @@ class _Lane:
         self.core = core
         self.ff = ff
         self.elapsed = elapsed
+        #: static eligibility for the cross-lane vectorized kernels
+        self.vec_ok = lane_vectorizable(core)
 
 
 class LaneBatch:
@@ -142,6 +145,7 @@ class LaneBatch:
         self.iq_size = iq_size
         self.rob_size = rob_size
         self.stack = LaneStack(self.lanes, iq_size, rob_size)
+        self.engine = VectorEngine(self.stack)
         self._check = check.check_enabled()
 
     def run(self, cells: Sequence[LaneCell],
@@ -164,7 +168,13 @@ class LaneBatch:
                     f"rob={cell.config.rob_size}) is not compatible "
                     f"with this batch (iq={self.iq_size}, "
                     f"rob={self.rob_size})")
-        queue = deque(cells)
+        # longest-trace-first fill order shrinks the end-of-batch tail
+        # where one long cell runs with the other lanes drained (the
+        # sort is stable, so equal-length cells — typically the same
+        # (workload, scale) target — keep their cache-friendly
+        # adjacency); per-cell outcomes are order-independent
+        queue = deque(sorted(cells, key=lambda c: len(c.trace),
+                             reverse=True))
         report = LaneReport()
         active: List[_Lane] = []
         free = list(range(self.lanes - 1, -1, -1))
@@ -189,6 +199,11 @@ class LaneBatch:
                                     perf_counter() - start))
             report.steps += 1
             retired = False
+            # pass 1 — per-lane terminal checks and fast-forward; a
+            # lane that neither retires nor fast-forwards needs one
+            # step, routed to the vectorized or scalar path
+            vec: List[_Lane] = []
+            scalar: List[_Lane] = []
             for lane in active:
                 core = lane.core
                 cell = lane.cell
@@ -208,9 +223,9 @@ class LaneBatch:
                             f"{core.state.cycle}")
                     if lane.ff is not None and \
                             lane.ff.advance(cell.max_cycles):
-                        pass
-                    else:
-                        core.step()
+                        lane.elapsed += perf_counter() - start
+                        report.lane_steps += 1
+                        continue
                 except Exception as exc:
                     # a failing lane (deadlock, assertion, anything) is
                     # an annotated outcome; batch-mates are untouched —
@@ -223,11 +238,66 @@ class LaneBatch:
                     retired = True
                     continue
                 lane.elapsed += perf_counter() - start
-                report.lane_steps += 1
-                if timeout is not None and lane.elapsed > timeout:
-                    retire(lane, LaneOutcome(cell.index, timed_out=True,
-                                             elapsed=lane.elapsed))
+                if lane.vec_ok and not select_live(lane.core):
+                    vec.append(lane)
+                else:
+                    scalar.append(lane)
+            # pass 2a — scalar fallback lanes step individually (non-
+            # vectorizable policy, criticality, live SELECT subscriber)
+            for lane in scalar:
+                start = perf_counter()
+                try:
+                    lane.core.step()
+                except Exception as exc:
+                    lane.elapsed += perf_counter() - start
+                    retire(lane, LaneOutcome(
+                        lane.cell.index, error=exc,
+                        error_tb=traceback.format_exc(),
+                        elapsed=lane.elapsed))
                     retired = True
+                    continue
+                lane.elapsed += perf_counter() - start
+                report.lane_steps += 1
+            # pass 2b — vectorizable lanes advance together through the
+            # cross-lane fused kernels (a solo lane gains nothing from
+            # fusing, so it takes the scalar step)
+            if len(vec) == 1:
+                lane = vec[0]
+                start = perf_counter()
+                try:
+                    lane.core.step()
+                except Exception as exc:
+                    lane.elapsed += perf_counter() - start
+                    retire(lane, LaneOutcome(
+                        lane.cell.index, error=exc,
+                        error_tb=traceback.format_exc(),
+                        elapsed=lane.elapsed))
+                    retired = True
+                else:
+                    lane.elapsed += perf_counter() - start
+                    report.lane_steps += 1
+            elif vec:
+                start = perf_counter()
+                failures = self.engine.step(vec)
+                share = (perf_counter() - start) / len(vec)
+                # attributed time: the fused step's wall split equally
+                # across participants (per-lane timing has no meaning
+                # inside a cross-lane kernel)
+                for lane in vec:
+                    lane.elapsed += share
+                for lane, exc, tb in failures:
+                    retire(lane, LaneOutcome(
+                        lane.cell.index, error=exc, error_tb=tb,
+                        elapsed=lane.elapsed))
+                    retired = True
+                report.lane_steps += len(vec) - len(failures)
+            if timeout is not None:
+                for lane in active:
+                    if lane.core is not None and lane.elapsed > timeout:
+                        retire(lane, LaneOutcome(
+                            lane.cell.index, timed_out=True,
+                            elapsed=lane.elapsed))
+                        retired = True
             if retired:
                 active = [lane for lane in active if lane.core is not None]
             if self._check and active and \

@@ -68,16 +68,29 @@ class FUPool:
         self._busy_until: List[List[int]] = [[] for _ in FUType]
         self._issued_this_cycle: List[int] = [0] * len(FUType)
         self._cycle = -1
+        # all-free fast path: most availability_vector() calls happen
+        # before anything issued this cycle and with no divide in
+        # flight, where the answer is just the configured counts.
+        # Callers never mutate the returned vector (the policies copy
+        # before decrementing), so one shared list serves them all.
+        self._full: List[int] = list(self._counts)
+        self._issued_total = 0
+        self._n_busy = 0
 
     def begin_cycle(self, cycle: int) -> None:
         self._cycle = cycle
         issued = self._issued_this_cycle
         for fu in range(len(issued)):
             issued[fu] = 0
-        for busy in self._busy_until:
-            # almost always empty (only in-flight divides park here)
-            if busy:
-                busy[:] = [until for until in busy if until > cycle]
+        self._issued_total = 0
+        if self._n_busy:
+            n = 0
+            for busy in self._busy_until:
+                # almost always empty (only in-flight divides park here)
+                if busy:
+                    busy[:] = [until for until in busy if until > cycle]
+                    n += len(busy)
+            self._n_busy = n
 
     def available(self, fu: FUType) -> int:
         """Units of this type that can accept an operation this cycle."""
@@ -90,8 +103,10 @@ class FUPool:
         if self.available(fu) <= 0:
             return False
         self._issued_this_cycle[fu] += 1
+        self._issued_total += 1
         if unpipelined:
             self._busy_until[fu].append(self._cycle + latency)
+            self._n_busy += 1
         return True
 
     def acquire(self, op_class: OpClass, latency: int) -> bool:
@@ -99,6 +114,18 @@ class FUPool:
         return self.acquire_fu(fu_type_for(op_class), latency,
                                op_class in _UNPIPELINED)
 
+    def all_free(self) -> bool:
+        """Nothing issued this cycle and no unpipelined op in flight —
+        every unit of every type can accept an operation."""
+        return not self._issued_total and not self._n_busy
+
     def availability_vector(self) -> List[int]:
-        """Per-type free-unit counts, indexed by :class:`FUType`."""
+        """Per-type free-unit counts, indexed by :class:`FUType`.
+
+        Callers must not mutate the result: the all-free fast path
+        returns a shared vector (the select policies copy before
+        decrementing, per their contract).
+        """
+        if not self._issued_total and not self._n_busy:
+            return self._full
         return [self.available(fu) for fu in FUType]

@@ -35,6 +35,13 @@ class DispatchStage:
         self._g_iq: list = []
         self._g_crit: list = []
         self._g_prods: list = []
+        # cross-lane fused landing (repro.pipeline.vectorstages): with
+        # ``defer_flush`` the accumulators survive the tick and the
+        # vector engine lands every lane's group in one batched store
+        # over the 3-D stack
+        self.defer_flush = False
+        # the latency table is immutable after construction
+        self._latency = state.config.latencies.get
 
     def tick(self, cycle: int) -> None:
         s = self.s
@@ -58,7 +65,7 @@ class DispatchStage:
                 self._do_dispatch(fetched, cycle)
                 s.ops[fetched.instr.seq].dispatched_at = cycle
             dispatched += 1
-        if dispatched:
+        if dispatched and not self.defer_flush:
             self._flush_group()
         if dispatched and not stalled:
             s.progress_cycle = cycle
@@ -114,12 +121,16 @@ class DispatchStage:
         s = self.s
         dyn = fetched.instr
         op = InflightOp(dyn, fetched.mispredicted)
-        op.latency = s.config.latencies.get(dyn.op_class, 1)
+        op.latency = self._latency(dyn.op_class, 1)
         s.dispatch_counter += 1
         op.dispatch_stamp = s.dispatch_counter
         op.rob_entry = s.rob_queue.allocate()
         op.iq_entry = s.iq_queue.allocate()
         op.in_iq = True
+        if s.iq_stamp is not None:
+            # struct-of-arrays issue columns for the vectorized kernels
+            s.iq_stamp[op.iq_entry] = op.dispatch_stamp
+            s.iq_fu[op.iq_entry] = op.fu
         if dyn.is_load:
             s.lsq.allocate_load(dyn.seq)
         elif dyn.is_store:
@@ -198,13 +209,16 @@ class DispatchStage:
         touches memory, or commits."""
         s = self.s
         op = InflightOp(fetched.instr, False)
-        op.latency = s.config.latencies.get(fetched.instr.op_class, 1)
+        op.latency = self._latency(fetched.instr.op_class, 1)
         op.wrong_path = True
         s.dispatch_counter += 1
         op.dispatch_stamp = s.dispatch_counter
         op.rob_entry = s.rob_queue.allocate()
         op.iq_entry = s.iq_queue.allocate()
         op.in_iq = True
+        if s.iq_stamp is not None:
+            s.iq_stamp[op.iq_entry] = op.dispatch_stamp
+            s.iq_fu[op.iq_entry] = op.fu
         self._g_rob.append(op.rob_entry)
         self._g_spec.append(False)
         self._g_iq.append(op.iq_entry)

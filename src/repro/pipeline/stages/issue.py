@@ -23,7 +23,7 @@ from typing import List
 
 import numpy as np
 
-from ...scheduler import SelectContext
+from ...scheduler import AgeSelect, SelectContext
 from ..events import EventType, IssueEvent, SelectEvent
 from .execute import ExecuteStage
 from .state import InflightOp, PipelineState
@@ -44,51 +44,161 @@ class IssueStage:
         iq_ops = state.iq_ops
         self._fu_of = lambda entry: iq_ops[entry].fu
         self._age_of = lambda entry: iq_ops[entry].dispatch_stamp
+        # direct-grant fast path eligibility: for the stock AGE policy
+        # without criticality the matrix oldest is exactly the
+        # min-dispatch-stamp ready entry (dispatch order == age order),
+        # so small ready sets can be granted without building a
+        # SelectContext or touching the matrix.  Bit-exact: the grant
+        # list and the rng entropy consumed are identical to
+        # AgeSelect.select (a shuffle of < 2 elements consumes none).
+        self._age_fast = (type(state.select_policy) is AgeSelect
+                          and not state.config.criticality)
+        # cross-lane fused wakeup broadcast (repro.pipeline.
+        # vectorstages): with ``defer_broadcast`` the issued entries
+        # collect in ``deferred`` and the vector engine performs every
+        # lane's column clears / pending decrements in one batched
+        # store over the 3-D stack (before any dispatch reuses a freed
+        # entry; nothing else in this lane's tick reads the wakeup
+        # planes of issued entries)
+        self.defer_broadcast = False
+        self.deferred: List[int] = []
 
-    def tick(self, cycle: int) -> None:
+    def drain_wp(self, cycle: int) -> None:
+        """Move due wrong-path instructions into the ready set."""
         s = self.s
         while s.wp_ready and s.wp_ready[0][0] <= cycle:
             _, seq = heapq.heappop(s.wp_ready)
             op = s.ops.get(seq)
             if op is not None and op.in_iq:
                 s.ready_set.add(op.iq_entry)
-        if not s.ready_set:
+
+    def tick(self, cycle: int) -> None:
+        s = self.s
+        self.drain_wp(cycle)
+        ready = s.ready_set
+        if not ready:
             return
-        if len(s.ready_set) > s.config.issue_width:
+        width = s.config.issue_width
+        if len(ready) > width:
             s.stats.ready_excess_cycles += 1
-        ctx = SelectContext(
-            entries=sorted(s.ready_set),
-            fu_of=self._fu_of,
-            age_of=self._age_of,
-            age_matrix=s.iq_age,
-            fu_available=s.fupool.availability_vector(),
-            width=s.config.issue_width,
-            rng=s.rng)
-        s.stats.iq_select_ops += 1
         bus = s.bus
-        if bus.live[_SELECT]:
-            bus.publish(SelectEvent(cycle, len(s.ready_set),
-                                    s.config.issue_width))
-        granted = s.select_policy.select(ctx)
+        if self._age_fast and len(ready) <= width \
+                and s.fupool.all_free():
+            # satellite fast path: grant directly, skipping the
+            # SelectContext build and the matrix select
+            s.stats.iq_select_ops += 1
+            if bus.live[_SELECT]:
+                bus.publish(SelectEvent(cycle, len(ready), width))
+            if len(ready) == 1:
+                entry = next(iter(ready))
+                avail = s.fupool.availability_vector()
+                granted = [entry] if avail[s.iq_ops[entry].fu] > 0 \
+                    else []
+            else:
+                iq_ops = s.iq_ops
+                oldest = min(ready,
+                             key=lambda e: iq_ops[e].dispatch_stamp)
+                granted = self._grant_age(oldest,
+                                          s.fupool.availability_vector())
+        else:
+            ctx = SelectContext(
+                entries=sorted(ready),
+                fu_of=self._fu_of,
+                age_of=self._age_of,
+                age_matrix=s.iq_age,
+                fu_available=s.fupool.availability_vector(),
+                width=width,
+                rng=s.rng)
+            s.stats.iq_select_ops += 1
+            if bus.live[_SELECT]:
+                bus.publish(SelectEvent(cycle, len(ready), width))
+            granted = s.select_policy.select(ctx)
+        self.issue_granted(granted, cycle)
+
+    def tick_vec(self, cycle: int, oldest: int) -> None:
+        """Issue tick for a vector-engine lane.
+
+        The cross-lane select kernel already computed this lane's
+        matrix-oldest ready entry (``oldest``; meaningless when the
+        ready set is empty — guarded here).  The wrong-path drain ran
+        in the engine's pre-pass.  Only valid for lanes passing
+        :func:`~repro.pipeline.vectorstages.lane_vectorizable`.
+        """
+        s = self.s
+        ready = s.ready_set
+        if not ready:
+            return
+        width = s.config.issue_width
+        if len(ready) > width:
+            s.stats.ready_excess_cycles += 1
+        s.stats.iq_select_ops += 1
+        granted = self._grant_age(oldest, s.fupool.availability_vector())
+        self.issue_granted(granted, cycle)
+
+    def _grant_age(self, oldest: int, avail, rng=None) -> List[int]:
+        """AGE grant from the precomputed oldest ready entry.
+
+        Replicates ``AgeSelect.select`` + ``_fill_greedy`` exactly —
+        grant order, FU feasibility, and rng entropy included — with
+        the matrix sense replaced by the stamp-derived ``oldest``.
+        ``rng`` overrides the state rng (the ``REPRO_CHECK`` select
+        cross-check passes clones).
+        """
+        s = self.s
+        if rng is None:
+            rng = s.rng
+        iq_ops = s.iq_ops
+        granted: List[int] = []
+        if avail[iq_ops[oldest].fu] > 0:
+            granted.append(oldest)
+            rest = [e for e in sorted(s.ready_set) if e != oldest]
+        else:
+            rest = sorted(s.ready_set)
+        if len(rest) > 1:
+            # a shuffle of < 2 elements consumes no rng entropy, so
+            # skipping the call is bit-exact
+            rng.shuffle(rest)
+        avail = list(avail)
+        if granted:
+            avail[iq_ops[oldest].fu] -= 1
+        width = s.config.issue_width
+        for entry in rest:
+            if len(granted) >= width:
+                break
+            fu = iq_ops[entry].fu
+            if avail[fu] > 0:
+                granted.append(entry)
+                avail[fu] -= 1
+        return granted
+
+    def issue_granted(self, granted: List[int], cycle: int) -> None:
+        """Common tail: acquire FUs, leave the IQ, begin execution."""
+        s = self.s
         issued = self._issued
         issued.clear()
         fupool = s.fupool
+        iq_ops = s.iq_ops
         for entry in granted:
-            op = s.iq_ops[entry]
+            op = iq_ops[entry]
             if not fupool.acquire_fu(op.fu, op.latency, op.unpipelined):
                 continue        # should not happen; be safe
             issued.append(op)
         if not issued:
             return
         self._leave_iq(issued)
+        bus = s.bus
+        live_issue = bus.live[_ISSUE]
+        operands_read = s.rename.operands_read
+        begin = self.execute.begin
+        stats = s.stats
         for op in issued:
             if not op.wrong_path:
-                s.rename.operands_read(op.rename_rec)
+                operands_read(op.rename_rec)
             op.issued_at = cycle
-            s.stats.issued += 1
-            if bus.live[_ISSUE]:
+            stats.issued += 1
+            if live_issue:
                 bus.publish(IssueEvent(cycle, op))
-            self.execute.begin(op, cycle)
+            begin(op, cycle)
         issued.clear()
 
     def _leave_iq(self, issued: List[InflightOp]) -> None:
@@ -121,13 +231,29 @@ class IssueStage:
                     if row[j]:
                         dep.producers_remaining += 1
                         op.dependents.append((dep, "op"))
-        s.wakeup.issue(entries)
+        free = s.iq_queue.free
+        discard = s.ready_set.discard
+        if self.defer_broadcast:
+            # the vector engine's broadcast kernel performs both the
+            # wakeup column clears and the age-matrix valid clears for
+            # every lane's issued entries in fused stores
+            self.deferred.extend(entries)
+            for op in issued:
+                entry = op.iq_entry
+                free(entry)
+                discard(entry)
+                del iq_ops[entry]
+                op.in_iq = False
+                op.iq_entry = None
+        else:
+            s.wakeup.issue(entries)
+            remove = s.iq_age.remove
+            for op in issued:
+                entry = op.iq_entry
+                free(entry)
+                remove(entry)
+                discard(entry)
+                del iq_ops[entry]
+                op.in_iq = False
+                op.iq_entry = None
         s.stats.wakeup_ops += len(issued)
-        for op in issued:
-            entry = op.iq_entry
-            s.iq_queue.free(entry)
-            s.iq_age.remove(entry)
-            s.ready_set.discard(entry)
-            del iq_ops[entry]
-            op.in_iq = False
-            op.iq_entry = None

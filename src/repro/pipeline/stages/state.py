@@ -87,6 +87,35 @@ class InflightOp:
                 f"{'c' if self.committed else ''}>")
 
 
+class MirroredReadySet(set):
+    """A ready set that mirrors membership into a lane-stack bit plane.
+
+    The cross-lane vectorized select kernel
+    (:mod:`repro.pipeline.vectorstages`) reads every lane's ready set
+    as one ``(lanes, iq_size)`` boolean plane.  This wrapper keeps the
+    plane exact by construction: the only mutations any stage performs
+    on ``ready_set`` are ``add`` and ``discard`` (never ``clear`` /
+    ``pop`` / rebinding), and both are mirrored point-wise.  All read
+    paths (membership, iteration, ``len``, truthiness) are the plain
+    ``set`` ones — the scalar stage code is unchanged.
+    """
+
+    __slots__ = ("plane",)
+
+    def __init__(self, plane: np.ndarray):
+        super().__init__()
+        self.plane = plane
+        plane[...] = False
+
+    def add(self, entry: int) -> None:
+        set.add(self, entry)
+        self.plane[entry] = True
+
+    def discard(self, entry: int) -> None:
+        set.discard(self, entry)
+        self.plane[entry] = False
+
+
 class PipelineState:
     """Everything the stages share, constructed from a trace + config."""
 
@@ -176,7 +205,21 @@ class PipelineState:
 
         self.frontend_pipe: Deque[Tuple[int, object]] = deque()
         self.dispatch_buffer: Deque[object] = deque()
-        self.ready_set: set = set()
+        # struct-of-arrays issue columns: with a lane slot the ready
+        # set mirrors into the stack's issue_ready plane and dispatch
+        # stamps/FU codes land in per-entry columns so the vectorized
+        # select kernel can read all lanes at once; the scalar path
+        # keeps the plain set (and None columns) unchanged
+        if slot is None:
+            self.ready_set: set = set()
+            self.iq_stamp = None
+            self.iq_fu = None
+        else:
+            self.ready_set = MirroredReadySet(slot.issue_ready)
+            self.iq_stamp = slot.iq_stamp
+            self.iq_stamp[...] = 0
+            self.iq_fu = slot.iq_fu
+            self.iq_fu[...] = 0
         self.completion_heap: List[Tuple[int, int, int]] = []
         self.mem_retry: List[InflightOp] = []
         # loads parked on a forwarding store whose data is not ready yet

@@ -366,20 +366,30 @@ class TestHarnessWiring:
 
 # -- CLI surface -----------------------------------------------------------
 
-class TestProfileRejection:
-    def test_profile_rejects_lanes_flag(self, capsys):
+class TestProfileLanes:
+    def test_profile_lanes_flag_runs_batch(self, capsys):
         from repro.cli import main
-        rc = main(["profile", "gcc.mix", "--lanes", "2"])
+        rc = main(["profile", "gcc.mix", "--scale", "0.05",
+                   "--lanes", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x2 cells on 2 lanes" in out
+        assert "serial-equiv kcycles/s" in out
+
+    def test_profile_lanes_env_runs_batch(self, capsys, monkeypatch):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_LANES", "2")
+        rc = main(["profile", "gcc.mix", "--scale", "0.05"])
+        assert rc == 0
+        assert "on 2 lanes" in capsys.readouterr().out
+
+    def test_profile_lanes_rejects_events(self, capsys):
+        # event subscribers instrument one core's bus; a lane batch
+        # has no single bus to attach to
+        from repro.cli import main
+        rc = main(["profile", "gcc.mix", "--lanes", "2", "--events"])
         assert rc == 2
         assert "requires --lanes 1" in capsys.readouterr().err
-
-    def test_profile_rejects_lanes_env(self, capsys, monkeypatch):
-        from repro.cli import main
-        monkeypatch.setenv("REPRO_LANES", "4")
-        rc = main(["profile", "gcc.mix"])
-        assert rc == 2
-        err = capsys.readouterr().err
-        assert "requires --lanes 1" in err and "REPRO_LANES" in err
 
     def test_profile_lanes_one_still_runs(self):
         from repro.cli import main

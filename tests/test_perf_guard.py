@@ -28,6 +28,7 @@ import pytest
 
 from repro.core import check
 from repro.pipeline import O3Core, base_config
+from repro.pipeline.lanes import LaneBatch, LaneCell, _Lane
 from repro.workloads import build_trace
 
 pytestmark = pytest.mark.skipif(
@@ -83,6 +84,43 @@ def test_steady_state_cycles_allocate_nothing(scheduler, commit):
     assert not counts, (
         f"steady-state cycles constructed NumPy arrays: {counts} "
         f"over {GUARDED_STEPS} cycles — a scratch buffer regressed")
+
+
+def test_vectorized_lane_loop_allocates_nothing():
+    """The cross-lane fused kernels preallocate all their scratch
+    (select stamps, broadcast pairs, landing rows) in the engine
+    constructor, growing only on first contact with a bigger batch.
+    After warm-up, a window of full-batch engine steps must run
+    without a single Python-level NumPy constructor call."""
+    trace = build_trace("mcf.chase", scale=0.5)
+    config = base_config(scheduler="age", commit="ioc")
+    batch = LaneBatch(4, config.iq_size, config.rob_size)
+    lanes = []
+    for slot_id in range(4):
+        core = O3Core(trace, config, slot=batch.stack.slot(slot_id))
+        lanes.append(_Lane(slot_id, LaneCell(slot_id, trace, config),
+                           core, None, 0.0))
+        assert lanes[-1].vec_ok
+    engine = batch.engine
+    for _ in range(WARMUP_STEPS):
+        assert not engine.step(lanes)
+    assert not any(lane.core.done() for lane in lanes), \
+        "trace too small to reach steady state"
+
+    counts = {}
+    patchers = _counting_shim(counts)
+    for patcher in patchers:
+        patcher.start()
+    try:
+        for _ in range(GUARDED_STEPS):
+            assert not engine.step(lanes)
+    finally:
+        for patcher in patchers:
+            patcher.stop()
+    assert not counts, (
+        f"vectorized lane steps constructed NumPy arrays: {counts} "
+        f"over {GUARDED_STEPS} steps — an engine scratch buffer "
+        f"regressed")
 
 
 class TestReproCheck:

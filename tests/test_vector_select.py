@@ -1,0 +1,154 @@
+"""Property tests for the cross-lane vectorized select path.
+
+The vector engine's select kernel replaces the age matrix's
+single-oldest sense with an ``argmin`` over dispatch stamps, and
+``IssueStage._grant_age`` replays ``AgeSelect.select`` from that hint.
+The equivalence claim is exact: for any ready set, dispatch (age)
+order, FU assignment, FU availability and issue width, the granted
+entries — including the grant *order* and the rng entropy consumed by
+the tie-break shuffle — must match the scalar policy running against a
+real :class:`AgeMatrix` built in the same dispatch order.
+
+A directed test then pins the engine-level contract: a mixed batch
+(one vectorizable AGE lane + one fallback RAND lane) produces SimStats
+field-identical to serial runs of the same cells.
+"""
+
+import dataclasses
+import random
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core import AgeMatrix                          # noqa: E402
+from repro.pipeline import O3Core, base_config            # noqa: E402
+from repro.pipeline.lanes import (LaneBatch, LaneCell,    # noqa: E402
+                                  lane_key)
+from repro.pipeline.resources import FUType               # noqa: E402
+from repro.pipeline.stages.issue import IssueStage        # noqa: E402
+from repro.scheduler import AgeSelect, SelectContext      # noqa: E402
+from repro.workloads import build_trace                   # noqa: E402
+
+IQ_SIZE = 16
+_I64_MAX = np.iinfo(np.int64).max
+
+
+def _make_stage(iq_ops, ready, width, rng):
+    """A real IssueStage over a duck-typed minimal pipeline state."""
+    state = SimpleNamespace(
+        iq_ops=iq_ops,
+        ready_set=ready,
+        rng=rng,
+        select_policy=AgeSelect(),
+        config=SimpleNamespace(issue_width=width, criticality=False),
+    )
+    return IssueStage(state, execute=None)
+
+
+@st.composite
+def select_cases(draw):
+    """Random (dispatch order, ready set, FUs, availability, width)."""
+    entries = sorted(draw(st.sets(st.integers(0, IQ_SIZE - 1),
+                                  min_size=1, max_size=IQ_SIZE)))
+    order = draw(st.permutations(entries))
+    ready = sorted(draw(st.sets(st.sampled_from(entries), min_size=1)))
+    fus = {entry: draw(st.sampled_from(list(FUType)))
+           for entry in entries}
+    avail = [draw(st.integers(0, 2)) for _ in FUType]
+    width = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return order, ready, fus, avail, width, seed
+
+
+@settings(max_examples=120, deadline=None)
+@given(select_cases())
+def test_stamp_argmin_grant_matches_age_select(case):
+    """Vectorized select ≡ AgeSelect: grants, order, and rng state."""
+    order, ready, fus, avail, width, seed = case
+    matrix = AgeMatrix(IQ_SIZE)
+    iq_ops = {}
+    for stamp, entry in enumerate(order, start=1):
+        matrix.dispatch(entry)
+        iq_ops[entry] = SimpleNamespace(fu=fus[entry],
+                                        dispatch_stamp=stamp)
+
+    # the select kernel's sense: mask non-ready stamps, argmin
+    stamps = np.full(IQ_SIZE, _I64_MAX, dtype=np.int64)
+    for entry in ready:
+        stamps[entry] = iq_ops[entry].dispatch_stamp
+    oldest = int(np.argmin(stamps))
+
+    rng_scalar = random.Random(seed)
+    rng_vec = random.Random(seed)
+    ctx = SelectContext(
+        entries=list(ready),
+        fu_of=lambda e: iq_ops[e].fu,
+        age_of=lambda e: iq_ops[e].dispatch_stamp,
+        age_matrix=matrix,
+        fu_available=list(avail),
+        width=width,
+        rng=rng_scalar)
+    want = AgeSelect().select(ctx)
+
+    stage = _make_stage(iq_ops, set(ready), width, rng_vec)
+    got = stage._grant_age(oldest, list(avail), rng=rng_vec)
+
+    assert got == want, (
+        f"grants diverged: kernel {got} vs AgeSelect {want} "
+        f"(ready={ready}, order={order}, avail={avail}, width={width})")
+    assert rng_scalar.getstate() == rng_vec.getstate(), (
+        "tie-break shuffle consumed different rng entropy")
+
+
+@settings(max_examples=60, deadline=None)
+@given(select_cases())
+def test_stamp_argmin_is_matrix_oldest(case):
+    """The stamp argmin picks exactly the matrix's single-oldest ready
+    entry (dispatch order ≡ age order when criticality is off)."""
+    order, ready, _fus, _avail, _width, _seed = case
+    matrix = AgeMatrix(IQ_SIZE)
+    stamps = np.full(IQ_SIZE, _I64_MAX, dtype=np.int64)
+    for stamp, entry in enumerate(order, start=1):
+        matrix.dispatch(entry)
+        if entry in ready:
+            stamps[entry] = stamp
+    request = np.zeros(IQ_SIZE, dtype=bool)
+    request[ready] = True
+    grant = matrix.select_single_oldest(request)
+    assert int(np.argmin(stamps)) == int(grant.argmax())
+    assert grant.sum() == 1
+
+
+class TestMixedBatchIdentity:
+    """One vectorizable lane + one scalar-fallback lane, stepped by the
+    same LaneBatch, must both stay field-identical to serial."""
+
+    def test_mixed_batch_matches_serial(self):
+        trace = build_trace("gcc.mix", 0.2)
+        vec_config = base_config(scheduler="age", commit="ioc")
+        fallback_config = base_config(scheduler="rand", commit="ioc")
+        serial = [
+            O3Core(trace, vec_config).run(),
+            O3Core(trace, fallback_config).run(),
+        ]
+        key = lane_key(vec_config)
+        assert key == lane_key(fallback_config)
+        batch = LaneBatch(2, key[0], key[1])
+        report = batch.run([
+            LaneCell(0, trace, vec_config),
+            LaneCell(1, trace, fallback_config),
+        ])
+        assert len(report.outcomes) == 2
+        by_index = {out.index: out for out in report.outcomes}
+        for index, reference in enumerate(serial):
+            outcome = by_index[index]
+            assert outcome.error is None, outcome.error_tb
+            got = dataclasses.asdict(outcome.stats)
+            want = dataclasses.asdict(reference)
+            assert got == want, (
+                f"lane {index} diverged: "
+                f"{[k for k in want if got.get(k) != want[k]][:8]}")

@@ -35,6 +35,7 @@ cells simulated in lockstep per batch, default ``$REPRO_LANES`` or 1;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -193,6 +194,35 @@ def build_parser() -> argparse.ArgumentParser:
                                        "(see benchmarks/crash/)")
     replay.add_argument("--events", type=int, default=12, metavar="N",
                         help="event-tail lines to print (default 12)")
+
+    verify = sub.add_parser(
+        "verify", help="differential memory-consistency campaign: "
+                       "random + litmus programs through every commit "
+                       "policy, checked against an interleaving oracle")
+    verify.add_argument("--programs", type=int, default=1000, metavar="N",
+                        help="campaign size (default 1000)")
+    verify.add_argument("--quick", action="store_true",
+                        help="500-program smoke campaign")
+    verify.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="generator seed (default $REPRO_VERIFY_SEED "
+                             "or 0); one seed = byte-identical programs "
+                             "and checkpoint across runs")
+    verify.add_argument("--jobs", type=int, default=None, metavar="J",
+                        help="worker processes (default $REPRO_JOBS or 1)")
+    verify.add_argument("--lanes", type=int, default=None, metavar="L",
+                        help="lane-batch width (default $REPRO_LANES or 1)")
+    verify.add_argument("--timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="per-program wall cap under --jobs")
+    verify.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="progress JSONL (default benchmarks/verify/"
+                             "campaign-s<seed>-n<count>.jsonl); an "
+                             "interrupted campaign resumes from it")
+    verify.add_argument("--fresh", action="store_true",
+                        help="discard any existing checkpoint first")
+    verify.add_argument("--no-minimise", action="store_true",
+                        help="skip delta-debugging violations into "
+                             "replayable bundles")
     return parser
 
 
@@ -428,10 +458,37 @@ def _dispatch(args) -> int:
             cprofile_sort=args.sort)
         print(report.format())
     elif command == "replay":
-        from .harness import replay_bundle
-        report = replay_bundle(args.bundle)
-        print(report.format(events=args.events))
-        return 0 if report.reproduced else 1
+        # exit codes: 0 = reproduced, 3 = ran but did not reproduce,
+        # 2 = bundle unreadable (grep the "verdict:" line for the story)
+        from .harness import load_bundle, replay_bundle
+        try:
+            bundle = load_bundle(args.bundle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load bundle {args.bundle}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if "verify" in bundle:
+            from .verify.minimise import replay_violation
+            report = replay_violation(bundle)
+            print(report.format())
+        else:
+            report = replay_bundle(bundle)
+            print(report.format(events=args.events))
+        return 0 if report.reproduced else 3
+    elif command == "verify":
+        from .verify.campaign import run_campaign
+        seed = args.seed
+        if seed is None:
+            seed = int(os.environ.get("REPRO_VERIFY_SEED", "0"))
+        count = 500 if args.quick else args.programs
+        jobs = args.jobs if args.jobs is not None else default_workers()
+        lanes = args.lanes if args.lanes is not None else default_lanes()
+        result = run_campaign(
+            seed=seed, count=count, jobs=jobs, lanes=lanes,
+            timeout=args.timeout, checkpoint=args.checkpoint,
+            fresh=args.fresh, minimise=not args.no_minimise)
+        print(result.format())
+        return 0 if result.ok else 1
     return 0
 
 

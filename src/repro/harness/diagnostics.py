@@ -52,6 +52,43 @@ BUNDLE_FORMAT = 1
 #: events kept in a bundle's tail
 EVENT_TAIL = 64
 
+#: bundles retained per crash directory (override: $REPRO_CRASH_KEEP)
+CRASH_KEEP = 50
+
+_evict_warned: set = set()          # crash dirs already warned about
+
+
+def _crash_keep() -> int:
+    try:
+        return int(os.environ.get("REPRO_CRASH_KEEP", CRASH_KEEP))
+    except ValueError:
+        return CRASH_KEEP
+
+
+def _evict_old_bundles(root: pathlib.Path) -> None:
+    """Cap the crash directory: keep the ``$REPRO_CRASH_KEEP`` newest
+    ``crash-*.json`` bundles, evict the rest oldest-first.  Long
+    fault-injection campaigns otherwise grow the directory without
+    bound.  Warns (once per directory per process) when eviction
+    starts."""
+    import sys
+    keep = _crash_keep()
+    if keep <= 0:
+        return
+    bundles = sorted(root.glob("crash-*.json"),
+                     key=lambda p: (p.stat().st_mtime, p.name))
+    excess = bundles[:-keep] if len(bundles) > keep else []
+    if excess and str(root) not in _evict_warned:
+        _evict_warned.add(str(root))
+        print(f"warning: {root} holds more than {keep} crash bundles; "
+              f"evicting oldest (raise $REPRO_CRASH_KEEP to keep more)",
+              file=sys.stderr)
+    for path in excess:
+        try:
+            path.unlink()
+        except OSError:
+            pass                     # concurrent eviction: already gone
+
 
 def default_crash_dir() -> pathlib.Path:
     """``$REPRO_CRASH_DIR``, else ``<repo>/benchmarks/crash``."""
@@ -192,6 +229,7 @@ def write_bundle(bundle: dict,
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
     tmp.write_text(json.dumps(bundle, indent=2, sort_keys=True))
     tmp.replace(path)
+    _evict_old_bundles(root)
     return path
 
 
@@ -227,7 +265,7 @@ class ReplayReport:
             lines.append(f"  observed: run completed "
                          f"({self.committed} committed)")
         lines.append("  verdict:  " + ("REPRODUCED" if self.reproduced
-                                       else "NOT REPRODUCED"))
+                                       else "NOT-REPRODUCED"))
         if self.snapshot is not None:
             snap = self.snapshot
             lines.append(

@@ -188,11 +188,12 @@ class LSQUnit:
             return None
         return min(store.seq for store in self.sq.values())
 
-    def commit_load(self, seq: int) -> None:
+    def commit_load(self, seq: int) -> bool:
         """Release the LQ entry of a committing load.
 
         Under TSO, committing over older non-performed loads transfers a
-        lockdown to the LDT (Figure 7).
+        lockdown to the LDT (Figure 7).  Returns True iff a lockdown was
+        taken (always False outside TSO mode).
         """
         entry = self._seq_to_lq.pop(seq)
         record = self.lq.pop(entry)
@@ -200,6 +201,7 @@ class LSQUnit:
             raise RuntimeError(
                 f"TSO: load #{seq} committing before being performed "
                 "requires ECL, which TSO mode does not allow")
+        took = False
         if self.lockdown is not None:
             older_nonperformed = np.zeros(self.lq_size, dtype=bool)
             for lq_index, load in self.lq.items():
@@ -208,8 +210,10 @@ class LSQUnit:
             if older_nonperformed.any():
                 self.lockdown.lockdown(record.addr, seq, older_nonperformed)
                 self.lockdowns_taken += 1
+                took = True
         self.mdm.load_remove(entry)
         self.lq_alloc.free(entry)
+        return took
 
     def can_commit_store(self) -> bool:
         return len(self.store_buffer) < self.sb_size

@@ -138,10 +138,23 @@ class SelectEvent:
 
 @dataclass(frozen=True)
 class MemEvent:
+    """Memory milestones.  ``kind`` is one of:
+
+    * ``"forward"`` — a load forwarded from an in-flight store
+      (``src`` = the forwarding store's seq);
+    * ``"violation"`` — a resolving store caught speculative loads;
+    * ``"drain"`` — a committed store left the store buffer for the L1;
+    * ``"lqfree"`` — a load released its LQ entry (the end of its
+      snoop-protection window);
+    * ``"lockdown"`` — the released load transferred a §3.3 lockdown to
+      the LDT instead (TSO mode, older loads still unperformed).
+    """
+
     type: ClassVar[EventType] = EventType.MEM
     cycle: int
-    kind: str                        # "forward" | "violation"
+    kind: str
     seq: int
+    src: Optional[int] = None
 
 
 @dataclass(frozen=True)

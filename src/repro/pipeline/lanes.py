@@ -26,10 +26,14 @@ lane axis.  Under ``REPRO_CHECK=1`` the harness additionally calls
 :func:`crosscheck` on a sampled cell per batch — a full serial re-run
 diffed field-by-field against the lane result.
 
-Lane batching is engine-internal and never sees external event-bus
-subscribers: the harness builds fresh cores per cell, and the CLI
-paths that attach live per-cycle subscribers (``--timeline``,
-``--events``, ``repro profile``) refuse or bypass lane mode.
+Lane batching is engine-internal: the harness builds fresh cores per
+cell, and the CLI paths that attach live per-cycle subscribers
+(``--timeline``, ``--events``, ``repro profile``) refuse or bypass
+lane mode.  A caller *may* hand a cell a pre-wired event bus
+(``LaneCell.bus`` — the verification campaign's witness subscriber
+does); a live SELECT subscriber routes that lane onto the scalar
+fallback step, and every other event type publishes identically on
+the vectorized path.
 
 Batches are workload-agnostic: a :class:`LaneCell` holds a concrete
 trace, so any registered workload target (synthetic kernel, imported
@@ -79,12 +83,21 @@ def lane_key(config: CoreConfig) -> tuple:
 
 @dataclass
 class LaneCell:
-    """One queued cell: an opaque caller key plus its trace/config."""
+    """One queued cell: an opaque caller key plus its trace/config.
+
+    ``bus`` optionally supplies a pre-wired
+    :class:`~repro.pipeline.events.EventBus` for the cell's core — the
+    verification campaign attaches its witness subscriber this way.
+    Cells with live SELECT subscribers simply fall back to the scalar
+    per-lane step (see ``select_live``); all other event types publish
+    identically on the vectorized path.
+    """
 
     index: object
     trace: object
     config: CoreConfig
     max_cycles: int = 5_000_000
+    bus: object = None
 
 
 @dataclass
@@ -191,7 +204,7 @@ class LaneBatch:
                 slot_id = free.pop()
                 cell = queue.popleft()
                 start = perf_counter()
-                core = O3Core(cell.trace, cell.config,
+                core = O3Core(cell.trace, cell.config, bus=cell.bus,
                               slot=self.stack.slot(slot_id))
                 ff = FastForward(core) if core.fast_forward_enabled \
                     else None

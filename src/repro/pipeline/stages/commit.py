@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..events import CommitEvent, CommitStall, EventType
+from ..events import CommitEvent, CommitStall, EventType, MemEvent
 from .squash import SquashUnit
 from .state import InflightOp, PipelineState
 
 _COMMIT = EventType.COMMIT
+_MEM = EventType.MEM
 _STALL = EventType.STALL
 
 
@@ -163,10 +164,23 @@ class CommitStage:
             op.resources_released = True
             s.rename.writer_committed(op.rename_rec)
             if op.dyn.is_load:
-                s.lsq.commit_load(op.seq)
+                self._commit_load(op)
             elif op.dyn.is_store:
                 s.lsq.commit_store(op.seq)
         self.forget(op)
+
+    def _commit_load(self, op: InflightOp) -> None:
+        """Release a committing load's LQ entry, reporting the release
+        on the event bus — ``lockdown`` if a §3.3 lockdown transferred
+        to the LDT, plain ``lqfree`` otherwise.  The verification
+        witness keys its TSO protection window on this moment: a load
+        is snoop-protected exactly while it holds its LQ entry, which
+        for deferred-release policies outlasts the commit event."""
+        s = self.s
+        took = s.lsq.commit_load(op.seq)
+        if s.bus.live[_MEM]:
+            s.bus.publish(MemEvent(s.cycle, "lockdown" if took else "lqfree",
+                                   op.seq))
 
     def forget(self, op: InflightOp) -> None:
         if op.completed:
@@ -197,7 +211,7 @@ class CommitStage:
             if not op.mem_nonspec:
                 op.mem_nonspec = True
                 s.resolve_spec(op)
-            s.lsq.commit_load(op.seq)
+            self._commit_load(op)
 
     def finish_zombie(self, op: InflightOp) -> None:
         """A committed-incomplete (VB/ECL) instruction finished its
@@ -208,7 +222,7 @@ class CommitStage:
             op.resources_released = True
             s.rename.writer_committed(op.rename_rec)
             if op.dyn.is_load:
-                s.lsq.commit_load(op.seq)
+                self._commit_load(op)
         s.ops.pop(op.seq, None)
 
     def exception_flush(self, op: InflightOp, cycle: int) -> None:

@@ -99,7 +99,7 @@ class ExecuteStage:
             if bus.live[_MATRIX]:
                 bus.publish(MatrixEvent(cycle, "mdm", "write"))
             if bus.live[_MEM]:
-                bus.publish(MemEvent(cycle, "forward", dyn.seq))
+                bus.publish(MemEvent(cycle, "forward", dyn.seq, match_seq))
             s.schedule_completion(
                 op, cycle + base_latency + s.config.forward_latency)
         else:

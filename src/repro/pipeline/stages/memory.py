@@ -39,6 +39,8 @@ class MemoryStage:
             return                          # MSHRs full; retry next cycle
         s.lsq.drain_store()
         s.sb_busy_until = cycle + 1
+        if s.bus.live[_MEM]:
+            s.bus.publish(MemEvent(cycle, "drain", head.seq))
 
     # -- store resolution ----------------------------------------------
 

@@ -32,6 +32,15 @@ cells are named ``"profile/<workload>"``).  Kinds:
     JSON but flips the payload under its checksum, anything else (the
     default) truncates the file mid-token.  Exercises the cache
     quarantine path on the next run.
+``lockdown``
+    Checker-side sabotage for the differential verification campaign
+    (:mod:`repro.verify`): the memory-ordering witness *drops* §3.3
+    lockdown records for matching cells (named
+    ``"verify/<program>/<model>/<policy>"``), so a TSO load-load
+    reordering that the lockdown matrix really did protect looks
+    unprotected to the checker and surfaces as a consistency
+    violation.  Proves the campaign can detect, minimise and bundle a
+    genuinely weak outcome without needing a real pipeline bug.
 
 Faults are sampled from the environment once per ``run_suite`` call in
 the parent and travel to workers inside the task payload, so a
@@ -58,7 +67,7 @@ FAULT_ENV = "REPRO_FAULT"
 #: exit code used by the ``crash`` kind (distinctive in diagnostics)
 CRASH_EXIT_CODE = 86
 
-KINDS = ("crash", "hang", "explode", "corrupt")
+KINDS = ("crash", "hang", "explode", "corrupt", "lockdown")
 
 #: default sleep for ``hang`` faults, seconds
 DEFAULT_HANG_SECONDS = 600.0

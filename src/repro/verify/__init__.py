@@ -1,0 +1,25 @@
+"""Differential memory-consistency verification (``repro verify``).
+
+Seed-deterministic multi-threaded programs (:mod:`.generator`) run
+through the pipeline under every commit policy and memory model; the
+witnessed per-thread orderings (:mod:`.witness`) compose into the set
+of outcomes the pipeline could have produced, checked for containment
+in an independent architectural oracle's allowed set (:mod:`.oracle`).
+Violations are delta-minimised into replayable bundles
+(:mod:`.minimise`); the campaign driver with checkpoint/resume lives
+in :mod:`.campaign` (imported lazily by the CLI — it pulls in the
+harness stack).
+"""
+
+from .generator import (CLASSIC_SHAPES, MemOp, VerifyProgram, build_thread,
+                        classic_program, generate_programs, program_sha,
+                        register_litmus_targets)
+from .oracle import MODELS, allowed_outcomes, format_outcome
+from .witness import (WitnessSubscriber, apparent_order, compose_outcomes,
+                      extract_witness)
+
+__all__ = ["CLASSIC_SHAPES", "MODELS", "MemOp", "VerifyProgram",
+           "WitnessSubscriber", "allowed_outcomes", "apparent_order",
+           "build_thread", "classic_program", "compose_outcomes",
+           "extract_witness", "format_outcome", "generate_programs",
+           "program_sha", "register_litmus_targets"]

@@ -13,6 +13,16 @@ from .targets import (SyntheticTarget, TraceFileTarget, WorkloadTarget,
                       scale_params, target_names, unregister_target,
                       workload_fingerprint)
 
+# litmus-shape threads from the verification campaign register as
+# (non-sweeping) targets so `repro kernels` lists them and `repro run`
+# can simulate a single litmus thread directly; the generator module
+# self-registers on import, and the sys.modules guard breaks the cycle
+# when repro.verify is what pulled this package in
+import sys as _sys
+
+if "repro.verify.generator" not in _sys.modules:
+    from ..verify import generator as _litmus  # noqa: F401
+
 __all__ = ["SUITE", "build_program", "build_suite", "build_trace",
            "clear_trace_cache", "fetch_trace", "generation_params",
            "kernel_names", "kernels", "sweep_names", "trace_cache_cap",

@@ -1,9 +1,17 @@
-"""TSO message-passing litmus: lockdown preserves load-load order."""
+"""TSO message-passing litmus: lockdown preserves load-load order.
+
+Extended with the differential-verification oracle
+(:mod:`repro.verify.oracle`): every classic litmus shape's allowed
+set is pinned against the published RVWMO / TSO verdicts, and the
+single-shape MP model here is cross-checked against the oracle.
+"""
 
 import pytest
 
 from repro.lsq.litmus import (DATA, FLAG, LitmusOutcome, enumerate_outcomes,
                               run_interleaving, tso_holds)
+from repro.verify.generator import CLASSIC_SHAPES, MemOp, VerifyProgram
+from repro.verify.oracle import allowed_outcomes
 
 
 class TestOutcome:
@@ -57,3 +65,110 @@ class TestFullEnumeration:
                    LitmusOutcome(0, 1)}
         outcomes = enumerate_outcomes(use_lockdown=True)
         assert allowed <= outcomes
+
+
+# -- oracle verdicts for the classic shapes ---------------------------------
+
+_X, _Y = 0x100, 0x108
+
+
+def _admits(program, model, binds=None, mem=None):
+    """Does any allowed outcome match the given register bindings
+    (``(thread, op_idx) -> value``) and final-memory constraints?"""
+    for outcome in allowed_outcomes(program, model):
+        bound = dict(outcome[0])
+        memory = dict(outcome[1])
+        if binds and any(bound.get(k) != v for k, v in binds.items()):
+            continue
+        if mem and any(memory.get(a) != v for a, v in mem.items()):
+            continue
+        return True
+    return False
+
+
+class TestOracleVerdicts:
+    """The oracle reproduces the published litmus verdict table.
+
+    Each entry names the shape's *weak* outcome and whether RVWMO /
+    TSO admit it (herd7 verdicts for the fence-free RISC-V / x86
+    variants).
+    """
+
+    # shape -> (register bindings, final memory, rvwmo?, tso?)
+    TABLE = {
+        "sb":       ({(0, 1): 0, (1, 1): 0}, None, True, True),
+        "sb_fence": ({(0, 2): 0, (1, 2): 0}, None, False, False),
+        "mp":       ({(1, 0): 2, (1, 1): 0}, None, True, False),
+        "mp_fence": ({(1, 0): 2, (1, 2): 0}, None, False, False),
+        "lb":       ({(0, 0): 2, (1, 0): 1}, None, True, False),
+        "s":        ({(1, 0): 2}, {_X: 1}, True, False),
+        "r":        ({(1, 1): 0}, {_Y: 2}, True, True),
+        "2p2w":     (None, {_X: 1, _Y: 3}, True, False),
+        "mp_stress": ({(1, 1): 2, (1, 2): 0}, None, True, False),
+    }
+
+    @pytest.mark.parametrize("shape", sorted(TABLE))
+    def test_weak_outcome_verdict(self, shape):
+        binds, mem, rvwmo_ok, tso_ok = self.TABLE[shape]
+        program = CLASSIC_SHAPES[shape]
+        assert _admits(program, "rvwmo", binds, mem) is rvwmo_ok
+        assert _admits(program, "tso", binds, mem) is tso_ok
+
+    @pytest.mark.parametrize("shape", sorted(TABLE))
+    def test_tso_refines_rvwmo(self, shape):
+        """Everything TSO admits, RVWMO admits too."""
+        program = CLASSIC_SHAPES[shape]
+        assert allowed_outcomes(program, "tso") \
+            <= allowed_outcomes(program, "rvwmo")
+
+    def test_strong_outcome_always_allowed(self):
+        """The fully-serialized MP execution is admitted everywhere."""
+        program = CLASSIC_SHAPES["mp"]
+        strong = {(1, 0): 0, (1, 1): 0}      # reader ran first
+        assert _admits(program, "rvwmo", strong)
+        assert _admits(program, "tso", strong)
+
+
+class TestOracleCrossCheck:
+    """The §3.3 two-agent MP model and the exhaustive oracle agree."""
+
+    @pytest.fixture(scope="class")
+    def mp_program(self):
+        # same shape as lsq.litmus: writer stores data then flag,
+        # reader loads flag then data (both value 1, as there)
+        return VerifyProgram("mp_xcheck", (
+            (MemOp("store", DATA, 1, 0), MemOp("store", FLAG, 1, 0)),
+            (MemOp("load", FLAG, None, 0), MemOp("load", DATA, None, 0)),
+        ), (DATA, FLAG))
+
+    @staticmethod
+    def _project(outcomes):
+        """Oracle outcomes -> {(r_flag, r_data)}."""
+        return {(dict(b)[(1, 0)], dict(b)[(1, 1)]) for b, _ in outcomes}
+
+    def test_lockdown_outcomes_subset_of_tso(self, mp_program):
+        tso = self._project(allowed_outcomes(mp_program, "tso"))
+        observed = {(o.r_flag, o.r_data)
+                    for o in enumerate_outcomes(use_lockdown=True)}
+        assert observed <= tso
+
+    def test_unlocked_outcomes_subset_of_rvwmo(self, mp_program):
+        rvwmo = self._project(allowed_outcomes(mp_program, "rvwmo"))
+        observed = {(o.r_flag, o.r_data)
+                    for o in enumerate_outcomes(use_lockdown=False)}
+        assert observed <= rvwmo
+
+    def test_unlocked_escapes_tso(self, mp_program):
+        """Without lockdown the two-agent model produces exactly the
+        outcome the TSO oracle forbids."""
+        tso = self._project(allowed_outcomes(mp_program, "tso"))
+        observed = {(o.r_flag, o.r_data)
+                    for o in enumerate_outcomes(use_lockdown=False)}
+        assert (1, 0) in observed - tso
+
+    def test_interleaving_outcome_in_oracle(self, mp_program):
+        """A concrete legal schedule's outcome is oracle-admitted."""
+        outcome = run_interleaving(["W", "W", "Lf", "Ld"],
+                                   use_lockdown=False)
+        tso = self._project(allowed_outcomes(mp_program, "tso"))
+        assert (outcome.r_flag, outcome.r_data) in tso
